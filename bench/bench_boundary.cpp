@@ -1,0 +1,117 @@
+// Boundary calibration microbenchmarks (google-benchmark).
+//
+// Not a paper table: this is the substrate's datasheet. It measures the
+// real CPU cost of the simulated primitives every experiment is built on
+// -- one boundary crossing, copy_{to,from}_user at several sizes, a null
+// syscall (getpid), a dcache-hit stat, and Cosy compound dispatch -- so
+// the relative costs behind E1-E9 can be independently checked.
+#include <benchmark/benchmark.h>
+
+#include "cosy/compiler.hpp"
+#include "cosy/exec.hpp"
+#include "uk/userlib.hpp"
+
+namespace {
+
+using namespace usk;
+
+struct Fix {
+  Fix() : kernel(fs), proc(kernel, "cal") {
+    fs.set_cost_hook(kernel.charge_hook());
+    int fd = proc.open("/cal", fs::kOWrOnly | fs::kOCreat);
+    std::vector<char> block(65536, 'c');
+    proc.write(fd, block.data(), block.size());
+    proc.close(fd);
+  }
+  fs::MemFs fs;
+  uk::Kernel kernel;
+  uk::Proc proc;
+};
+
+void BM_CrossingOnly(benchmark::State& state) {
+  Fix f;
+  for (auto _ : state) {
+    f.kernel.boundary().enter_kernel(f.proc.task());
+    f.kernel.boundary().exit_kernel(f.proc.task());
+  }
+}
+BENCHMARK(BM_CrossingOnly);
+
+void BM_CopyFromUser(benchmark::State& state) {
+  Fix f;
+  std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<char> src(n, 'x');
+  std::vector<char> dst(n);
+  f.proc.task().enter_kernel();
+  for (auto _ : state) {
+    f.kernel.boundary().copy_from_user(f.proc.task(), dst.data(), src.data(),
+                                       n);
+  }
+  f.proc.task().exit_kernel();
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CopyFromUser)->Arg(64)->Arg(1024)->Arg(4096)->Arg(65536);
+
+void BM_NullSyscall(benchmark::State& state) {
+  Fix f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.proc.getpid());
+  }
+}
+BENCHMARK(BM_NullSyscall);
+
+void BM_StatDcacheHit(benchmark::State& state) {
+  Fix f;
+  fs::StatBuf st;
+  f.proc.stat("/cal", &st);  // warm the dcache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.proc.stat("/cal", &st));
+  }
+}
+BENCHMARK(BM_StatDcacheHit);
+
+void BM_Read4k(benchmark::State& state) {
+  Fix f;
+  int fd = f.proc.open("/cal", fs::kORdOnly);
+  char buf[4096];
+  for (auto _ : state) {
+    f.proc.lseek(fd, 0, fs::kSeekSet);
+    benchmark::DoNotOptimize(f.proc.read(fd, buf, sizeof(buf)));
+  }
+  f.proc.close(fd);
+}
+BENCHMARK(BM_Read4k);
+
+void BM_CosyDispatchEmpty(benchmark::State& state) {
+  Fix f;
+  cosy::CosyExtension ext(f.kernel);
+  cosy::SharedBuffer shared(4096);
+  cosy::CompileResult cr = cosy::compile("return 0;");
+  for (auto _ : state) {
+    cosy::CosyResult r = ext.execute(f.proc.process(), cr.compound, shared);
+    benchmark::DoNotOptimize(r.ret);
+  }
+}
+BENCHMARK(BM_CosyDispatchEmpty);
+
+void BM_CosyReadLoop(benchmark::State& state) {
+  Fix f;
+  cosy::CosyExtension ext(f.kernel);
+  cosy::SharedBuffer shared(8192);
+  cosy::CompileResult cr = cosy::compile(
+      "int fd = open(\"/cal\", O_RDONLY);"
+      "int n = 1;"
+      "while (n > 0) { n = read(fd, @0, 4096); }"
+      "close(fd);"
+      "return 0;");
+  for (auto _ : state) {
+    cosy::CosyResult r = ext.execute(f.proc.process(), cr.compound, shared);
+    benchmark::DoNotOptimize(r.ret);
+  }
+}
+BENCHMARK(BM_CosyReadLoop);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,167 @@
+// A2b / §2.4 motivation: Cosy under real I/O costs ("I/O-aware Cosy").
+//
+// "To extend the performance gains achieved by Cosy, we are designing an
+// I/O-aware version of Cosy. We are exploring various smart-disk
+// technologies and typical disk access patterns to make Cosy I/O
+// conscious."
+//
+// This bench shows WHY: with the buffer cache warm (CPU-bound, the regime
+// of E3/E4), Cosy's crossing elimination is most of the cost and the
+// speedup is large. With a cold cache and random access the disk dominates
+// and Cosy's advantage collapses -- the headroom an I/O-conscious Cosy
+// (prefetching inside the compound, reordering probes by LBA) would
+// target.
+#include <cinttypes>
+
+#include "bench/common.hpp"
+#include "blockdev/buffer_cache.hpp"
+#include "blockdev/disk.hpp"
+#include "cosy/compiler.hpp"
+#include "cosy/exec.hpp"
+#include "uk/userlib.hpp"
+
+namespace {
+
+using namespace usk;
+
+constexpr std::size_t kFileBlocks = 512;  // 2 MiB file
+constexpr int kProbes = 512;
+
+struct Stack {
+  explicit Stack(std::size_t cache_blocks)
+      : disk(1 << 16), cache(disk, cache_blocks), kernel(fs),
+        proc(kernel, "io"), ext(kernel), shared(1 << 16) {
+    fs.set_cost_hook(kernel.charge_hook());
+    disk.set_charge_hook(kernel.charge_hook());
+    fs.set_io_model(&cache);
+    int fd = proc.open("/table", fs::kOWrOnly | fs::kOCreat);
+    std::vector<char> block(4096, 'd');
+    for (std::size_t i = 0; i < kFileBlocks; ++i) {
+      proc.write(fd, block.data(), block.size());
+    }
+    proc.close(fd);
+  }
+
+  void warm_cache() {
+    char buf[4096];
+    int fd = proc.open("/table", fs::kORdOnly);
+    while (proc.read(fd, buf, sizeof(buf)) > 0) {
+    }
+    proc.close(fd);
+  }
+
+  blockdev::Disk disk;
+  blockdev::BufferCache cache;
+  fs::MemFs fs;
+  uk::Kernel kernel;
+  uk::Proc proc;
+  cosy::CosyExtension ext;
+  cosy::SharedBuffer shared;
+};
+
+std::uint64_t classic_random(Stack& s) {
+  std::uint64_t k0 = s.proc.task().times().kernel;
+  int fd = s.proc.open("/table", fs::kORdOnly);
+  char buf[4096];
+  std::uint64_t key = 99;
+  for (int i = 0; i < kProbes; ++i) {
+    key = key * 6364136223846793005ull + 1442695040888963407ull;
+    s.proc.lseek(fd,
+                 static_cast<std::int64_t>((key >> 33) % kFileBlocks) * 4096,
+                 fs::kSeekSet);
+    s.proc.read(fd, buf, sizeof(buf));
+  }
+  s.proc.close(fd);
+  return s.proc.task().times().kernel - k0;
+}
+
+std::uint64_t cosy_random(Stack& s) {
+  cosy::CompileResult cr = cosy::compile(
+      "int fd = open(\"/table\", O_RDONLY);"
+      "int key = 99;"
+      "for (int i = 0; i < 512; i += 1) {"
+      "  key = key * 25214903917 + 11;"
+      "  if (key < 0) { key = 0 - key; }"
+      "  lseek(fd, (key % 512) * 4096, SEEK_SET);"
+      "  read(fd, @0, 4096);"
+      "}"
+      "close(fd);"
+      "return 0;");
+  if (!cr.ok) std::abort();
+  std::uint64_t k0 = s.proc.task().times().kernel;
+  cosy::CosyResult r = s.ext.execute(s.proc.process(), cr.compound, s.shared);
+  if (r.ret != 0) std::abort();
+  return s.proc.task().times().kernel - k0;
+}
+
+std::uint64_t classic_seq(Stack& s) {
+  std::uint64_t k0 = s.proc.task().times().kernel;
+  int fd = s.proc.open("/table", fs::kORdOnly);
+  char buf[4096];
+  while (s.proc.read(fd, buf, sizeof(buf)) > 0) {
+  }
+  s.proc.close(fd);
+  return s.proc.task().times().kernel - k0;
+}
+
+std::uint64_t cosy_seq(Stack& s) {
+  cosy::CompileResult cr = cosy::compile(
+      "int fd = open(\"/table\", O_RDONLY);"
+      "int n = 1;"
+      "while (n > 0) { n = read(fd, @0, 4096); }"
+      "close(fd);"
+      "return 0;");
+  if (!cr.ok) std::abort();
+  std::uint64_t k0 = s.proc.task().times().kernel;
+  cosy::CosyResult r = s.ext.execute(s.proc.process(), cr.compound, s.shared);
+  if (r.ret != 0) std::abort();
+  return s.proc.task().times().kernel - k0;
+}
+
+void row(const char* pattern, const char* cache_state, std::uint64_t classic,
+         std::uint64_t cosy) {
+  std::printf("%-18s %-12s %14" PRIu64 " %14" PRIu64 " %9.1f%%\n", pattern,
+              cache_state, classic, cosy,
+              bench::improvement_pct(static_cast<double>(classic),
+                                     static_cast<double>(cosy)));
+}
+
+}  // namespace
+
+int main() {
+  bench::print_title("A4", "Cosy under disk I/O (the Sec 2.4 'I/O-aware "
+                           "Cosy' motivation)");
+  std::printf("%-18s %-12s %14s %14s %10s\n", "pattern", "cache",
+              "classic(u)", "cosy(u)", "speedup");
+
+  {
+    Stack s(1 << 12);  // cache holds the whole file
+    s.warm_cache();
+    std::uint64_t c = classic_seq(s);
+    std::uint64_t z = cosy_seq(s);
+    row("sequential scan", "warm", c, z);
+  }
+  {
+    Stack s(16);  // cold, tiny cache: every block misses
+    std::uint64_t c = classic_seq(s);
+    std::uint64_t z = cosy_seq(s);
+    row("sequential scan", "cold", c, z);
+  }
+  {
+    Stack s(1 << 12);
+    s.warm_cache();
+    std::uint64_t c = classic_random(s);
+    std::uint64_t z = cosy_random(s);
+    row("random probes", "warm", c, z);
+  }
+  {
+    Stack s(16);
+    std::uint64_t c = classic_random(s);
+    std::uint64_t z = cosy_random(s);
+    row("random probes", "cold", c, z);
+  }
+  bench::print_note("warm cache = CPU-bound regime (Cosy's E3/E4 wins); "
+                    "cold random = disk-bound, where crossing savings wash "
+                    "out and an I/O-conscious Cosy would reorder/prefetch");
+  return 0;
+}

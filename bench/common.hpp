@@ -1,0 +1,58 @@
+// Shared helpers for the reproduction benchmarks: wall-clock timing,
+// paper-style table printing, and improvement math.
+//
+// Each bench binary regenerates one of the paper's reported results (see
+// DESIGN.md's experiment index). Binaries print self-contained tables so
+// `for b in build/bench/*; do $b; done` reproduces the whole evaluation.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+namespace usk::bench {
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double time_once(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+/// Best-of-N wall-clock seconds (reduces scheduler noise).
+inline double time_best(int n, const std::function<void()>& fn) {
+  double best = 1e99;
+  for (int i = 0; i < n; ++i) {
+    double t = time_once(fn);
+    if (t < best) best = t;
+  }
+  return best;
+}
+
+/// Percentage improvement of `better` over `baseline` (paper convention:
+/// "improved 60%" means the new time is 40% of the old).
+inline double improvement_pct(double baseline, double better) {
+  if (baseline <= 0) return 0.0;
+  return 100.0 * (baseline - better) / baseline;
+}
+
+/// Ratio (slowdown factor) of instrumented over vanilla.
+inline double slowdown(double vanilla, double instrumented) {
+  return vanilla > 0 ? instrumented / vanilla : 0.0;
+}
+
+inline void print_title(const std::string& id, const std::string& title) {
+  std::printf("\n==========================================================="
+              "=====================\n");
+  std::printf("%s: %s\n", id.c_str(), title.c_str());
+  std::printf("============================================================"
+              "====================\n");
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  note: %s\n", note.c_str());
+}
+
+}  // namespace usk::bench

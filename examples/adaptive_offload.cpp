@@ -1,0 +1,114 @@
+// adaptive_offload: the paper's §2.4 future work, live.
+//
+// Build & run:  ./build/examples/adaptive_offload
+//
+// Two things the paper wanted to automate, automated:
+//   1. "decide which code should be moved to the kernel using profiling" --
+//      two regions are wrapped in AdaptiveRegion; the profiler offloads the
+//      syscall-heavy one and keeps the compute-heavy one in user space.
+//   2. "once the untrusted code is considered safe, the security checks
+//      will be dynamically turned off" -- a user function starts in fully
+//      isolated segments, earns trust, runs in the cheap mode, then loses
+//      trust the moment it misbehaves.
+#include <cstdio>
+
+#include "cosy/adaptive.hpp"
+#include "cosy/compiler.hpp"
+#include "cosy/exec.hpp"
+#include "uk/userlib.hpp"
+
+int main() {
+  using namespace usk;
+  fs::MemFs rootfs;
+  uk::Kernel kernel(rootfs);
+  rootfs.set_cost_hook(kernel.charge_hook());
+  uk::Proc app(kernel, "adaptive");
+  cosy::CosyExtension cosy_ext(kernel);
+  cosy::SharedBuffer shared(64 * 1024);
+
+  // A file for the hot loop to scan.
+  int fd = app.open("/metrics.log", fs::kOWrOnly | fs::kOCreat);
+  std::vector<char> block(4096, 'm');
+  for (int i = 0; i < 64; ++i) app.write(fd, block.data(), block.size());
+  app.close(fd);
+
+  std::printf("== 1. profiling-driven offload ==\n");
+  auto scan_compound = cosy::compile(
+      "int fd = open(\"/metrics.log\", O_RDONLY);"
+      "int n = 1;"
+      "while (n > 0) { n = read(fd, @0, 4096); }"
+      "close(fd);"
+      "return 0;");
+  cosy::AdaptiveRegion hot(
+      cosy_ext, shared, "scan-metrics",
+      [](uk::Proc& p) {
+        int f = p.open("/metrics.log", fs::kORdOnly);
+        char buf[4096];
+        while (p.read(f, buf, sizeof(buf)) > 0) {
+        }
+        p.close(f);
+      },
+      scan_compound.compound);
+
+  cosy::CompoundBuilder wasteful;
+  for (int i = 0; i < 300; ++i) {
+    wasteful.arith(1, cosy::ArithOp::kAdd, cosy::local(1), cosy::imm(1));
+  }
+  wasteful.getpid(0);
+  cosy::AdaptiveRegion cold(
+      cosy_ext, shared, "one-getpid",
+      [](uk::Proc& p) { p.getpid(); }, wasteful.finish());
+
+  for (int i = 0; i < 8; ++i) {
+    hot.run(app);
+    cold.run(app);
+  }
+  auto verdict = [](cosy::AdaptiveRegion& r) {
+    return r.decision() == cosy::AdaptiveRegion::Decision::kCosy
+               ? "OFFLOADED to kernel"
+               : "stays in user space";
+  };
+  std::printf("region '%s': %s (classic %.0f u/run, cosy %.0f u/run)\n",
+              hot.name().c_str(), verdict(hot), hot.profile().classic_avg(),
+              hot.profile().cosy_avg());
+  std::printf("region '%s': %s (classic %.0f u/run, cosy %.0f u/run)\n",
+              cold.name().c_str(), verdict(cold),
+              cold.profile().classic_avg(), cold.profile().cosy_avg());
+
+  std::printf("\n== 2. heuristic trust for user functions ==\n");
+  cosy_ext.set_trust_threshold(3);
+  // f(x): stores through an offset derived from its argument -- safe for
+  // small x, a protection fault when the caller passes a hostile value.
+  cosy::VmAssembler attack;
+  attack.loadi(2, 0).st(1, 2, 0).mov(3, 1).st(3, 1, 0).ret();
+  int fid = cosy_ext.install_function(
+      attack.take(), 64, cosy::SafetyMode::kIsolatedSegments, "parser");
+  cosy::VmFunction* fn = cosy_ext.functions().get(fid);
+
+  auto call = [&](std::int64_t arg) {
+    cosy::CompoundBuilder b;
+    b.call_func(fid, {cosy::imm(arg)}, 0);
+    cosy::Compound c = b.finish();
+    return cosy_ext.execute(app.process(), c, shared);
+  };
+  const char* mode_name[] = {"isolated segments", "data-segment only"};
+  for (int i = 1; i <= 4; ++i) {
+    cosy::CosyResult r = call(0);  // well-behaved input
+    std::printf("run %d: ret=%lld, mode=%s, clean_runs=%llu\n", i,
+                static_cast<long long>(r.ret),
+                mode_name[fn->mode() == cosy::SafetyMode::kDataSegmentOnly],
+                static_cast<unsigned long long>(fn->clean_runs));
+  }
+  std::printf("now feed it hostile input (store via attacker-controlled "
+              "offset)...\n");
+  cosy::CosyResult r = call(50000);
+  std::printf("attack: ret=%s, mode=%s (trust revoked, %llu promotions / "
+              "%llu demotions)\n",
+              std::string(errno_name(sysret_errno(r.ret))).c_str(),
+              mode_name[fn->mode() == cosy::SafetyMode::kDataSegmentOnly],
+              static_cast<unsigned long long>(
+                  cosy_ext.stats().trust_promotions),
+              static_cast<unsigned long long>(
+                  cosy_ext.stats().trust_demotions));
+  return 0;
+}

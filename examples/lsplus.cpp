@@ -1,0 +1,111 @@
+// lsplus: an `ls -l` built two ways -- the classic readdir + stat-per-file
+// loop, and the consolidated readdirplus system call (paper §2.2).
+//
+// Build & run:  ./build/examples/lsplus
+//
+// Prints the listing itself, then the cost comparison: boundary crossings,
+// bytes copied, and kernel work units for each implementation.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "consolidation/newcalls.hpp"
+#include "uk/userlib.hpp"
+
+namespace {
+
+using namespace usk;
+
+const char* type_char(fs::FileType t) {
+  return t == fs::FileType::kDirectory ? "d" : "-";
+}
+
+struct Cost {
+  std::uint64_t crossings, bytes, units;
+};
+
+Cost snapshot(uk::Kernel& k, uk::Proc& p) {
+  const auto& b = k.boundary().stats();
+  return {b.crossings, b.bytes_from_user + b.bytes_to_user,
+          p.task().times().kernel};
+}
+
+Cost delta(const Cost& a, const Cost& b) {
+  return {b.crossings - a.crossings, b.bytes - a.bytes, b.units - a.units};
+}
+
+}  // namespace
+
+int main() {
+  fs::MemFs rootfs;
+  uk::Kernel kernel(rootfs);
+  rootfs.set_cost_hook(kernel.charge_hook());
+  uk::Proc sh(kernel, "lsplus");
+
+  // Populate a directory worth listing.
+  sh.mkdir("/projects");
+  const char* names[] = {"README.md", "design.txt", "kernel.c", "module.c",
+                         "notes", "results.csv", "todo.txt"};
+  int size = 100;
+  for (const char* n : names) {
+    std::string p = std::string("/projects/") + n;
+    int fd = sh.open(p.c_str(), fs::kOWrOnly | fs::kOCreat);
+    std::vector<char> data(static_cast<std::size_t>(size), 'x');
+    sh.write(fd, data.data(), data.size());
+    sh.close(fd);
+    size += 137;
+  }
+  sh.mkdir("/projects/notes.d");
+
+  // --- classic ls -l -----------------------------------------------------------
+  Cost c0 = snapshot(kernel, sh);
+  std::printf("$ ls -l /projects        (classic: readdir + stat per file)\n");
+  {
+    auto entries = sh.list_dir("/projects");
+    fs::StatBuf st;
+    for (const auto& e : entries) {
+      std::string p = "/projects/" + e.name;
+      if (sh.stat(p.c_str(), &st) == 0) {
+        std::printf("%s %2u user user %7llu %s\n", type_char(st.type),
+                    st.nlink, static_cast<unsigned long long>(st.size),
+                    e.name.c_str());
+      }
+    }
+  }
+  Cost classic = delta(c0, snapshot(kernel, sh));
+
+  // --- ls -l via readdirplus ------------------------------------------------------
+  Cost p0 = snapshot(kernel, sh);
+  std::printf("\n$ lsplus /projects       (one readdirplus call)\n");
+  {
+    std::vector<std::byte> buf(8192);
+    std::uint64_t cookie = 0;
+    for (;;) {
+      SysRet n = consolidation::sys_readdirplus(
+          kernel, sh.process(), "/projects", buf.data(), buf.size(),
+          &cookie);
+      if (n <= 0) break;
+      std::vector<std::pair<uk::UserDirent, fs::StatBuf>> batch;
+      uk::decode_dirents_plus(
+          std::span(buf.data(), static_cast<std::size_t>(n)), &batch);
+      for (const auto& [de, st] : batch) {
+        std::printf("%s %2u user user %7llu %s\n", type_char(st.type),
+                    st.nlink, static_cast<unsigned long long>(st.size),
+                    de.name.c_str());
+      }
+    }
+  }
+  Cost plus = delta(p0, snapshot(kernel, sh));
+
+  std::printf("\n%-22s %12s %14s %14s\n", "", "crossings", "bytes copied",
+              "kernel units");
+  std::printf("%-22s %12llu %14llu %14llu\n", "classic readdir+stat",
+              static_cast<unsigned long long>(classic.crossings),
+              static_cast<unsigned long long>(classic.bytes),
+              static_cast<unsigned long long>(classic.units));
+  std::printf("%-22s %12llu %14llu %14llu\n", "readdirplus",
+              static_cast<unsigned long long>(plus.crossings),
+              static_cast<unsigned long long>(plus.bytes),
+              static_cast<unsigned long long>(plus.units));
+  return 0;
+}

@@ -1,0 +1,38 @@
+#include "base/errno.hpp"
+
+namespace usk {
+
+std::string_view errno_name(Errno e) {
+  switch (e) {
+    case Errno::kOk: return "OK";
+    case Errno::kEPERM: return "EPERM";
+    case Errno::kENOENT: return "ENOENT";
+    case Errno::kEINTR: return "EINTR";
+    case Errno::kEIO: return "EIO";
+    case Errno::kEBADF: return "EBADF";
+    case Errno::kEAGAIN: return "EAGAIN";
+    case Errno::kENOMEM: return "ENOMEM";
+    case Errno::kEACCES: return "EACCES";
+    case Errno::kEFAULT: return "EFAULT";
+    case Errno::kEBUSY: return "EBUSY";
+    case Errno::kEEXIST: return "EEXIST";
+    case Errno::kEXDEV: return "EXDEV";
+    case Errno::kENOTDIR: return "ENOTDIR";
+    case Errno::kEISDIR: return "EISDIR";
+    case Errno::kEINVAL: return "EINVAL";
+    case Errno::kENFILE: return "ENFILE";
+    case Errno::kEMFILE: return "EMFILE";
+    case Errno::kEFBIG: return "EFBIG";
+    case Errno::kENOSPC: return "ENOSPC";
+    case Errno::kEROFS: return "EROFS";
+    case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
+    case Errno::kENOTEMPTY: return "ENOTEMPTY";
+    case Errno::kENOSYS: return "ENOSYS";
+    case Errno::kETIME: return "ETIME";
+    case Errno::kEOVERFLOW: return "EOVERFLOW";
+    case Errno::kEKILLED: return "EKILLED";
+  }
+  return "E???";
+}
+
+}  // namespace usk

@@ -1,0 +1,85 @@
+// Kernel-style status codes and a lightweight Result<T> carrier.
+//
+// The simulated kernel ("usk") mirrors POSIX errno semantics: operations
+// return either a value or a negative status, exactly the convention Linux
+// system calls use at the user/kernel boundary.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace usk {
+
+/// POSIX-flavoured error codes used across the simulated kernel.
+enum class Errno : std::int32_t {
+  kOk = 0,
+  kEPERM = 1,    ///< Operation not permitted
+  kENOENT = 2,   ///< No such file or directory
+  kEINTR = 4,    ///< Interrupted (watchdog kill)
+  kEIO = 5,      ///< I/O error
+  kEBADF = 9,    ///< Bad file descriptor
+  kEAGAIN = 11,  ///< Resource temporarily unavailable
+  kENOMEM = 12,  ///< Out of memory
+  kEACCES = 13,  ///< Permission denied
+  kEFAULT = 14,  ///< Bad address (failed user copy / protection fault)
+  kEBUSY = 16,   ///< Device or resource busy
+  kEEXIST = 17,  ///< File exists
+  kEXDEV = 18,   ///< Cross-device link (rename across mounts)
+  kENOTDIR = 20, ///< Not a directory
+  kEISDIR = 21,  ///< Is a directory
+  kEINVAL = 22,  ///< Invalid argument
+  kENFILE = 23,  ///< Too many open files in system
+  kEMFILE = 24,  ///< Too many open files (per task)
+  kEFBIG = 27,   ///< File too large
+  kENOSPC = 28,  ///< No space left on device
+  kEROFS = 30,   ///< Read-only file system
+  kENAMETOOLONG = 36,
+  kENOTEMPTY = 39,
+  kENOSYS = 38,  ///< Function not implemented
+  kETIME = 62,   ///< Timer expired (Cosy kernel-time budget exceeded)
+  kEOVERFLOW = 75,
+  kEKILLED = 132, ///< Task killed by the safety watchdog
+};
+
+/// Human-readable name for an error code (for klog and test diagnostics).
+std::string_view errno_name(Errno e);
+
+/// Result<T>: either a value or an Errno. Modeled after kernel ERR_PTR usage
+/// but type-safe. `T` must be cheap to move.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
+  Result(Errno e) : v_(e) {}                          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] Errno error() const {
+    return ok() ? Errno::kOk : std::get<Errno>(v_);
+  }
+
+  [[nodiscard]] T& value() & { return std::get<T>(v_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Errno> v_;
+};
+
+/// Linux-style: syscalls return ssize_t where negative values are -errno.
+using SysRet = std::int64_t;
+
+constexpr SysRet sysret_err(Errno e) { return -static_cast<SysRet>(e); }
+constexpr bool sysret_is_err(SysRet r) { return r < 0; }
+constexpr Errno sysret_errno(SysRet r) {
+  return r < 0 ? static_cast<Errno>(-r) : Errno::kOk;
+}
+
+}  // namespace usk

@@ -1,0 +1,60 @@
+#include "base/klog.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace usk::base {
+
+void KLog::log(LogLevel level, std::string message) {
+  std::lock_guard lk(mu_);
+  ring_.push_back(LogEntry{level, std::move(message), seq_++});
+  if (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<LogEntry> KLog::entries() const {
+  std::lock_guard lk(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<LogEntry> KLog::entries_at_least(LogLevel level) const {
+  std::lock_guard lk(mu_);
+  std::vector<LogEntry> out;
+  for (const auto& e : ring_) {
+    if (e.level >= level) out.push_back(e);
+  }
+  return out;
+}
+
+std::uint64_t KLog::total_logged() const {
+  std::lock_guard lk(mu_);
+  return seq_;
+}
+
+bool KLog::contains(std::string_view needle) const {
+  std::lock_guard lk(mu_);
+  for (const auto& e : ring_) {
+    if (e.message.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void KLog::clear() {
+  std::lock_guard lk(mu_);
+  ring_.clear();
+}
+
+KLog& klog() {
+  static KLog instance;
+  return instance;
+}
+
+void klogf(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  klog().log(level, buf);
+}
+
+}  // namespace usk::base

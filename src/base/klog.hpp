@@ -1,0 +1,65 @@
+// klog: the simulated kernel's syslog.
+//
+// Kefence and the safety monitors report violations here ("Exact details
+// about the context and location of buffer overflows are logged through
+// syslog" -- paper §3.2). The log is an in-memory ring so tests can assert
+// on exactly what was reported.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace usk::base {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kErr = 3,
+  kCrit = 4,  ///< safety violation that disabled a module
+};
+
+struct LogEntry {
+  LogLevel level;
+  std::string message;
+  std::uint64_t seq;
+};
+
+/// Thread-safe bounded in-memory log (oldest entries are dropped).
+class KLog {
+ public:
+  explicit KLog(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void log(LogLevel level, std::string message);
+
+  /// Snapshot of current entries, oldest first.
+  [[nodiscard]] std::vector<LogEntry> entries() const;
+
+  /// Entries at `level` or above.
+  [[nodiscard]] std::vector<LogEntry> entries_at_least(LogLevel level) const;
+
+  /// Number of messages ever logged (including dropped ones).
+  [[nodiscard]] std::uint64_t total_logged() const;
+
+  /// True if any entry's message contains `needle`.
+  [[nodiscard]] bool contains(std::string_view needle) const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::uint64_t seq_ = 0;
+  std::deque<LogEntry> ring_;
+};
+
+/// Process-wide kernel log instance (the simulated machine has one syslog).
+KLog& klog();
+
+void klogf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace usk::base

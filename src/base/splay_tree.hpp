@@ -1,0 +1,221 @@
+// Bottom-up splay tree keyed by 64-bit addresses.
+//
+// This is the data structure the BCC/KGCC runtime uses for its object map
+// (paper §3.4: "the BCC runtime ... maintains a map of currently allocated
+// memory in a splay tree; the tree is consulted before any memory
+// operation"). Splaying brings the most recently touched object to the
+// root, which is near-optimal under the reference locality typical of
+// single-threaded code -- and measurably *worse* under multi-threaded
+// interleavings, which bench_splay_mt quantifies.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+
+namespace usk::base {
+
+struct SplayStats {
+  std::uint64_t finds = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t erases = 0;
+  std::uint64_t rotations = 0;
+};
+
+template <typename V>
+class SplayTree {
+ public:
+  SplayTree() = default;
+  ~SplayTree() { clear(); }
+
+  SplayTree(const SplayTree&) = delete;
+  SplayTree& operator=(const SplayTree&) = delete;
+
+  /// Insert or overwrite the value at `key`. Splays the node to the root.
+  void insert(std::uint64_t key, V value) {
+    ++stats_.inserts;
+    Node* n = do_find(key);
+    if (n != nullptr && n->key == key) {
+      n->value = std::move(value);
+      return;
+    }
+    auto* node = new Node{key, std::move(value), nullptr, nullptr, nullptr};
+    if (root_ == nullptr) {
+      root_ = node;
+    } else {
+      // After do_find, root_ is the last node on the search path.
+      Node* p = root_;
+      if (key < p->key) {
+        node->left = p->left;
+        if (node->left) node->left->parent = node;
+        node->right = p;
+        p->left = nullptr;
+      } else {
+        node->right = p->right;
+        if (node->right) node->right->parent = node;
+        node->left = p;
+        p->right = nullptr;
+      }
+      p->parent = node;
+      root_ = node;
+    }
+    ++size_;
+  }
+
+  /// Exact lookup; splays the found node (or the last touched node).
+  V* find(std::uint64_t key) {
+    ++stats_.finds;
+    Node* n = do_find(key);
+    return (n != nullptr && n->key == key) ? &n->value : nullptr;
+  }
+
+  /// Greatest entry with key <= `key`, or nullptr. Splays.
+  std::pair<std::uint64_t, V*> floor(std::uint64_t key) {
+    ++stats_.finds;
+    Node* n = do_find(key);
+    if (n == nullptr) return {0, nullptr};
+    if (n->key <= key) return {n->key, &n->value};
+    // Root is the successor; predecessor is the max of its left subtree.
+    Node* p = root_->left;
+    while (p != nullptr && p->right != nullptr) p = p->right;
+    if (p == nullptr) return {0, nullptr};
+    splay(p);
+    return {p->key, &p->value};
+  }
+
+  /// Remove `key`; returns true if it was present.
+  bool erase(std::uint64_t key) {
+    ++stats_.erases;
+    Node* n = do_find(key);
+    if (n == nullptr || n->key != key) return false;
+    // n is now the root.
+    Node* l = n->left;
+    Node* r = n->right;
+    if (l != nullptr) l->parent = nullptr;
+    if (r != nullptr) r->parent = nullptr;
+    delete n;
+    --size_;
+    if (l == nullptr) {
+      root_ = r;
+    } else {
+      // Splay max of left subtree, then attach right subtree.
+      Node* m = l;
+      while (m->right != nullptr) m = m->right;
+      root_ = l;
+      splay(m);
+      assert(root_ == m && m->right == nullptr);
+      m->right = r;
+      if (r != nullptr) r->parent = m;
+    }
+    return true;
+  }
+
+  /// In-order traversal.
+  void for_each(const std::function<void(std::uint64_t, const V&)>& fn) const {
+    walk(root_, fn);
+  }
+
+  void clear() {
+    destroy(root_);
+    root_ = nullptr;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] const SplayStats& stats() const { return stats_; }
+
+  /// Depth of `key`'s node from the root WITHOUT splaying (locality probe).
+  [[nodiscard]] int depth_of(std::uint64_t key) const {
+    int d = 0;
+    for (Node* n = root_; n != nullptr; ++d) {
+      if (key == n->key) return d;
+      n = key < n->key ? n->left : n->right;
+    }
+    return -1;
+  }
+
+ private:
+  struct Node {
+    std::uint64_t key;
+    V value;
+    Node* left;
+    Node* right;
+    Node* parent;
+  };
+
+  void rotate(Node* x) {
+    Node* p = x->parent;
+    Node* g = p->parent;
+    ++stats_.rotations;
+    if (p->left == x) {
+      p->left = x->right;
+      if (x->right) x->right->parent = p;
+      x->right = p;
+    } else {
+      p->right = x->left;
+      if (x->left) x->left->parent = p;
+      x->left = p;
+    }
+    p->parent = x;
+    x->parent = g;
+    if (g != nullptr) {
+      (g->left == p ? g->left : g->right) = x;
+    } else {
+      root_ = x;
+    }
+  }
+
+  void splay(Node* x) {
+    while (x->parent != nullptr) {
+      Node* p = x->parent;
+      Node* g = p->parent;
+      if (g == nullptr) {
+        rotate(x);  // zig
+      } else if ((g->left == p) == (p->left == x)) {
+        rotate(p);  // zig-zig
+        rotate(x);
+      } else {
+        rotate(x);  // zig-zag
+        rotate(x);
+      }
+    }
+  }
+
+  /// Search for key; splay the last node on the path; return exact match or
+  /// that last node (caller checks key).
+  Node* do_find(std::uint64_t key) {
+    Node* n = root_;
+    Node* last = nullptr;
+    while (n != nullptr) {
+      last = n;
+      if (key == n->key) break;
+      n = key < n->key ? n->left : n->right;
+    }
+    if (last != nullptr) splay(last);
+    return last;
+  }
+
+  static void walk(const Node* n,
+                   const std::function<void(std::uint64_t, const V&)>& fn) {
+    if (n == nullptr) return;
+    walk(n->left, fn);
+    fn(n->key, n->value);
+    walk(n->right, fn);
+  }
+
+  static void destroy(Node* n) {
+    if (n == nullptr) return;
+    destroy(n->left);
+    destroy(n->right);
+    delete n;
+  }
+
+  Node* root_ = nullptr;
+  std::size_t size_ = 0;
+  SplayStats stats_;
+};
+
+}  // namespace usk::base

@@ -1,0 +1,63 @@
+// Deterministic busy-work engine.
+//
+// The simulator charges costs (context switches, disk seeks, interrupt
+// delivery) by *executing real work*, never by sleeping, so benchmark deltas
+// are genuine CPU measurements. One work unit is a fixed short ALU chain;
+// cache_touch work additionally strides through a scratch buffer to model
+// the cache/TLB pollution a real kernel entry causes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace usk::base {
+
+class WorkEngine {
+ public:
+  WorkEngine() { scratch_.fill(1); }
+
+  /// Execute `units` of pure ALU work.
+  void alu(std::uint64_t units) {
+    std::uint64_t x = seed_;
+    for (std::uint64_t i = 0; i < units; ++i) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+    }
+    sink(x);
+  }
+
+  /// Execute `units` of cache-touching work (one line per unit).
+  void cache_touch(std::uint64_t units) {
+    std::uint64_t x = seed_;
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < units; ++i) {
+      // Stride by a cache line; the xorshift makes the pattern
+      // non-prefetchable, approximating TLB/cache refill costs.
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      acc += scratch_[(x >> 6) % scratch_.size()]++;
+    }
+    sink(acc);
+  }
+
+  /// Total units ever executed (for accounting assertions in tests).
+  [[nodiscard]] std::uint64_t total_units() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void sink(std::uint64_t v) {
+    // Publish through an atomic so the optimizer cannot delete the loop.
+    total_.fetch_add(1 + (v & 1), std::memory_order_relaxed);
+  }
+
+  static constexpr std::size_t kScratchWords = 1 << 15;  // 256 KiB of u64
+  std::uint64_t seed_ = 0x853C49E6748FEA9Bull;
+  std::atomic<std::uint64_t> total_{0};
+  alignas(64) std::array<std::uint64_t, kScratchWords> scratch_{};
+};
+
+}  // namespace usk::base

@@ -1,0 +1,103 @@
+// Object map for the BCC/KGCC runtime (paper §3.4).
+//
+// "The checks are simply function calls to the BCC runtime environment,
+// which maintains a map of currently allocated memory in a splay tree; the
+// tree is consulted before any memory operation."
+//
+// Two entry kinds live in the map: real objects, and OOB *peer* objects --
+// the paper's fix for temporary out-of-bounds pointers: "Whenever an
+// out-of-bounds address is created by arithmetic on an object O, we insert
+// a special out-of-bounds (OOB) object at the new address into the address
+// map, and make it a peer of object O. Our KGCC runtime permits only
+// pointer arithmetic on OOB objects, which can either generate another
+// peer or return to O's bounds."
+//
+// The map interface is abstract so the multithreading ablation (§3.5) can
+// compare the splay tree against a balanced tree under contention.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "base/splay_tree.hpp"
+
+namespace usk::bcc {
+
+enum class EntryKind : std::uint8_t {
+  kObject,
+  kOobPeer,
+};
+
+struct MapEntry {
+  EntryKind kind = EntryKind::kObject;
+  std::uint64_t base = 0;
+  std::uint64_t size = 0;        ///< objects only
+  std::uint64_t peer_of = 0;     ///< peers: base of the owning object
+  const char* file = "?";
+  int line = 0;
+};
+
+/// Abstract address->entry map keyed by base address.
+class AddressMap {
+ public:
+  virtual ~AddressMap() = default;
+
+  virtual void insert(const MapEntry& e) = 0;
+  virtual bool erase(std::uint64_t base) = 0;
+  /// Entry with the greatest base <= addr, or nullptr.
+  virtual const MapEntry* floor(std::uint64_t addr) = 0;
+  /// Exact-base lookup.
+  virtual const MapEntry* find(std::uint64_t base) = 0;
+  [[nodiscard]] virtual std::size_t size() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// The paper's structure: splay tree (self-adjusting; recently touched
+/// objects float to the root -- near-optimal with reference locality).
+class SplayAddressMap final : public AddressMap {
+ public:
+  void insert(const MapEntry& e) override { tree_.insert(e.base, e); }
+  bool erase(std::uint64_t base) override { return tree_.erase(base); }
+  const MapEntry* floor(std::uint64_t addr) override {
+    auto [key, v] = tree_.floor(addr);
+    return v;
+  }
+  const MapEntry* find(std::uint64_t base) override {
+    return tree_.find(base);
+  }
+  [[nodiscard]] std::size_t size() const override { return tree_.size(); }
+  [[nodiscard]] const char* name() const override { return "splay"; }
+
+  [[nodiscard]] const base::SplayStats& splay_stats() const {
+    return tree_.stats();
+  }
+
+ private:
+  base::SplayTree<MapEntry> tree_;
+};
+
+/// Balanced-tree alternative (std::map / red-black): no rotation on reads,
+/// the structure the paper's future work considers for multithreaded use.
+class BalancedAddressMap final : public AddressMap {
+ public:
+  void insert(const MapEntry& e) override { map_[e.base] = e; }
+  bool erase(std::uint64_t base) override { return map_.erase(base) > 0; }
+  const MapEntry* floor(std::uint64_t addr) override {
+    auto it = map_.upper_bound(addr);
+    if (it == map_.begin()) return nullptr;
+    --it;
+    return &it->second;
+  }
+  const MapEntry* find(std::uint64_t base) override {
+    auto it = map_.find(base);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+  [[nodiscard]] std::size_t size() const override { return map_.size(); }
+  [[nodiscard]] const char* name() const override { return "balanced"; }
+
+ private:
+  std::map<std::uint64_t, MapEntry> map_;
+};
+
+}  // namespace usk::bcc

@@ -1,0 +1,202 @@
+#include "bcc/runtime.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "base/klog.hpp"
+
+namespace usk::bcc {
+
+namespace {
+std::uint64_t addr_of(const void* p) {
+  return reinterpret_cast<std::uint64_t>(p);
+}
+}  // namespace
+
+Runtime::Runtime(RuntimeOptions opt, std::unique_ptr<AddressMap> map)
+    : opt_(opt),
+      map_(map != nullptr ? std::move(map)
+                          : std::make_unique<SplayAddressMap>()) {}
+
+Runtime& Runtime::instance() {
+  static Runtime rt;
+  return rt;
+}
+
+void* Runtime::bcc_malloc(std::size_t n, const char* file, int line) {
+  ++stats_.mallocs;
+  void* p = ::operator new(n == 0 ? 1 : n);
+  register_object(p, n == 0 ? 1 : n, file, line);
+  return p;
+}
+
+void Runtime::bcc_free(void* p) {
+  ++stats_.frees;
+  if (p == nullptr) return;
+  ++stats_.map_consults;
+  const MapEntry* e = map_->find(addr_of(p));
+  if (e == nullptr) {
+    report(ErrorKind::kInvalidFree, addr_of(p), 0, nullptr);
+    return;  // refuse to free unknown memory (the check saved us)
+  }
+  if (e->kind == EntryKind::kOobPeer) {
+    report(ErrorKind::kInvalidFree, addr_of(p), 0, e);
+    return;
+  }
+  map_->erase(addr_of(p));
+  ::operator delete(p);
+}
+
+void Runtime::register_object(const void* p, std::size_t n, const char* file,
+                              int line) {
+  MapEntry e;
+  e.kind = EntryKind::kObject;
+  e.base = addr_of(p);
+  e.size = n;
+  e.file = file;
+  e.line = line;
+  map_->insert(e);
+}
+
+void Runtime::unregister_object(const void* p) { map_->erase(addr_of(p)); }
+
+const MapEntry* Runtime::owning_object(std::uint64_t addr) {
+  ++stats_.map_consults;
+  const MapEntry* e = map_->floor(addr);
+  if (e == nullptr) return nullptr;
+  if (e->kind == EntryKind::kObject) {
+    if (addr >= e->base && addr < e->base + e->size) return e;
+    return nullptr;
+  }
+  // Peers are zero-sized markers: match only the exact address.
+  return addr == e->base ? e : nullptr;
+}
+
+bool Runtime::check_access(const void* p, std::size_t n, CheckSite* site) {
+  ++stats_.checks;
+  std::uint64_t a = addr_of(p);
+
+  if (site != nullptr) {
+    if (site->disabled) {
+      ++stats_.skipped_disabled;
+      return true;
+    }
+    if (opt_.cache_bounds && a >= site->cached_base &&
+        a + n <= site->cached_end) {
+      ++stats_.cache_hits;
+      if (opt_.deinstrument_after != 0 &&
+          ++site->clean_checks >= opt_.deinstrument_after) {
+        site->disabled = true;
+      }
+      return true;
+    }
+  }
+
+  const MapEntry* obj = owning_object(a);
+  if (obj == nullptr) {
+    // Classify near-misses as bounds errors against the nearest object
+    // below (e.g., one-past-the-end dereferences) for better diagnostics.
+    const MapEntry* near_obj = map_->floor(a);
+    if (near_obj != nullptr && near_obj->kind == EntryKind::kObject &&
+        a >= near_obj->base && a < near_obj->base + near_obj->size + 4096) {
+      report(ErrorKind::kOutOfBounds, a, n, near_obj);
+    } else {
+      report(ErrorKind::kUnknownPointer, a, n, nullptr);
+    }
+    return false;
+  }
+  if (obj->kind == EntryKind::kOobPeer) {
+    report(ErrorKind::kPeerDereference, a, n, obj);
+    return false;
+  }
+  if (a + n > obj->base + obj->size) {
+    report(ErrorKind::kOutOfBounds, a, n, obj);
+    return false;
+  }
+
+  if (site != nullptr) {
+    site->cached_base = obj->base;
+    site->cached_end = obj->base + obj->size;
+    if (opt_.deinstrument_after != 0 &&
+        ++site->clean_checks >= opt_.deinstrument_after) {
+      site->disabled = true;
+    }
+  }
+  return true;
+}
+
+bool Runtime::check_arith(const void* from, std::int64_t delta_bytes,
+                          const void* result) {
+  ++stats_.arith_checks;
+  (void)delta_bytes;
+  std::uint64_t src = addr_of(from);
+  std::uint64_t dst = addr_of(result);
+
+  const MapEntry* obj = owning_object(src);
+  if (obj == nullptr) {
+    report(ErrorKind::kUnknownPointer, src, 0, nullptr);
+    return false;
+  }
+  std::uint64_t owner_base =
+      obj->kind == EntryKind::kOobPeer ? obj->peer_of : obj->base;
+
+  // Resolve the owner object to test the destination against its bounds.
+  ++stats_.map_consults;
+  const MapEntry* owner = map_->find(owner_base);
+  if (owner == nullptr || owner->kind != EntryKind::kObject) {
+    report(ErrorKind::kUnknownPointer, src, 0, nullptr);
+    return false;
+  }
+
+  if (dst >= owner->base && dst <= owner->base + owner->size) {
+    // Back in bounds (or one-past-end, which C allows to *form*). Note:
+    // one-past-end still fails check_access when dereferenced.
+    return true;
+  }
+
+  // Temporary out-of-bounds pointer: install a peer at the destination so
+  // further arithmetic on it remains legal.
+  MapEntry peer;
+  peer.kind = EntryKind::kOobPeer;
+  peer.base = dst;
+  peer.peer_of = owner->base;
+  peer.file = owner->file;
+  peer.line = owner->line;
+  map_->insert(peer);
+  ++stats_.peers_created;
+  return true;
+}
+
+CheckSite* Runtime::make_site() {
+  sites_.push_back(std::make_unique<CheckSite>());
+  return sites_.back().get();
+}
+
+void Runtime::report(ErrorKind kind, std::uint64_t addr, std::size_t n,
+                     const MapEntry* obj) {
+  ++stats_.errors;
+  const char* kind_name = "?";
+  switch (kind) {
+    case ErrorKind::kUnknownPointer: kind_name = "unknown pointer"; break;
+    case ErrorKind::kOutOfBounds: kind_name = "out-of-bounds access"; break;
+    case ErrorKind::kPeerDereference:
+      kind_name = "dereference of out-of-bounds pointer";
+      break;
+    case ErrorKind::kInvalidFree: kind_name = "invalid free"; break;
+    case ErrorKind::kDoubleFree: kind_name = "double free"; break;
+  }
+  char site[160];
+  if (obj != nullptr) {
+    std::snprintf(site, sizeof(site), "%s:%d", obj->file, obj->line);
+  } else {
+    std::snprintf(site, sizeof(site), "<unknown>");
+  }
+  base::klogf(base::LogLevel::kErr,
+              "bcc: %s at 0x%llx (%zu bytes); object from %s", kind_name,
+              static_cast<unsigned long long>(addr), n, site);
+  if (opt_.collect_errors) {
+    errors_.push_back(BccError{kind, addr, n, site});
+  }
+}
+
+}  // namespace usk::bcc

@@ -1,0 +1,38 @@
+// Consolidated system calls (paper §2.2).
+//
+// "We found several promising system call patterns, including
+// open-read-close, open-write-close, open-fstat, and readdir-stat. We
+// implemented several new system calls to measure the improvements."
+//
+// Each call performs the work of a whole sequence behind ONE boundary
+// crossing, and readdirplus additionally collapses the per-file stat path
+// copies into a single packed result buffer -- both context switches and
+// data copies are saved, as in NFSv3's READDIRPLUS.
+#pragma once
+
+#include "uk/kernel.hpp"
+
+namespace usk::consolidation {
+
+/// readdirplus: names + stat information for the files of a directory.
+/// Fills `ubuf` with packed uk::DirentPlusHdr + name records starting at
+/// *`ucookie` (0 on the first call); updates the cookie for resumption.
+/// Returns bytes written, 0 at end of directory.
+SysRet sys_readdirplus(uk::Kernel& k, uk::Process& p, const char* upath,
+                       void* ubuf, std::size_t n, std::uint64_t* ucookie);
+
+/// open-read-close in one crossing: reads up to `n` bytes at `offset`.
+SysRet sys_open_read_close(uk::Kernel& k, uk::Process& p, const char* upath,
+                           void* ubuf, std::size_t n, std::uint64_t offset);
+
+/// open-write-close in one crossing; `flags` may include kOCreat/kOTrunc/
+/// kOAppend. Returns bytes written.
+SysRet sys_open_write_close(uk::Kernel& k, uk::Process& p, const char* upath,
+                            const void* ubuf, std::size_t n,
+                            std::uint64_t offset, int flags);
+
+/// open-fstat(-close) in one crossing: stat via the open path.
+SysRet sys_open_fstat(uk::Kernel& k, uk::Process& p, const char* upath,
+                      fs::StatBuf* ust);
+
+}  // namespace usk::consolidation

@@ -1,0 +1,43 @@
+// Zero-copy shared buffer (paper §2.3).
+//
+// "The second is a shared buffer to facilitate zero-copying of data within
+// system calls and between user applications and the kernel." Cosy read
+// and write ops target offsets in this buffer; the kernel extension moves
+// file data directly between the filesystem and this memory, so no
+// copy_{to,from}_user happens at all for compound I/O.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace usk::cosy {
+
+class SharedBuffer {
+ public:
+  explicit SharedBuffer(std::size_t size) : bytes_(size) {}
+
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+  /// Kernel-side view of a range; empty span if out of bounds.
+  std::span<std::byte> range(std::int64_t offset, std::size_t len) {
+    if (offset < 0 || static_cast<std::size_t>(offset) > bytes_.size() ||
+        len > bytes_.size() - static_cast<std::size_t>(offset)) {
+      return {};
+    }
+    return std::span(bytes_.data() + offset, len);
+  }
+
+  /// User-side access (the user owns this memory; no crossing needed).
+  [[nodiscard]] std::byte* data() { return bytes_.data(); }
+  [[nodiscard]] const std::byte* data() const { return bytes_.data(); }
+
+  /// Bytes moved through this buffer by compound ops (zero-copy traffic).
+  std::uint64_t bytes_via_shared = 0;
+
+ private:
+  std::vector<std::byte> bytes_;
+};
+
+}  // namespace usk::cosy

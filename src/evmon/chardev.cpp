@@ -1,0 +1,49 @@
+#include "evmon/chardev.hpp"
+
+namespace usk::evmon {
+
+std::size_t Chardev::read(Event* out, std::size_t max, ReadMode mode,
+                          const std::atomic<bool>* stop) {
+  ++reads_;
+  if (crossing_hook_) crossing_hook_();
+
+  std::size_t n = ring_.pop_bulk(out, max);
+  if (n > 0) return n;
+
+  if (mode == ReadMode::kPolling) {
+    // The paper's prototype: return empty immediately; the caller loops,
+    // burning CPU that the benchmarked workload needed.
+    ++empty_reads_;
+    return 0;
+  }
+
+  // Blocking mode: wait for data with a cheap backoff, charging no
+  // additional crossings while asleep (a real blocking read would park the
+  // task in the kernel).
+  std::uint32_t spins = 0;
+  while ((stop == nullptr || !stop->load(std::memory_order_relaxed))) {
+    n = ring_.pop_bulk(out, max);
+    if (n > 0) return n;
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  ++empty_reads_;
+  return ring_.pop_bulk(out, max);
+}
+
+bool KernEventsClient::next(Event* out, ReadMode mode,
+                            const std::atomic<bool>* stop) {
+  if (pos_ >= fill_) {
+    fill_ = dev_.read(buf_.data(), buf_.size(), mode, stop);
+    pos_ = 0;
+    if (fill_ == 0) return false;
+  }
+  *out = buf_[pos_++];
+  ++consumed_;
+  return true;
+}
+
+}  // namespace usk::evmon

@@ -1,0 +1,36 @@
+// Event record for the kernel event-monitoring framework.
+//
+// Paper §3.3: "Each event is recorded by a structure that contains a
+// void* that references the object affected by the event; an integer that
+// encodes the type of event; and the source file and line number that
+// triggered the event. This structure has been designed to minimize the
+// size of individual log entries."
+#pragma once
+
+#include <cstdint>
+
+namespace usk::evmon {
+
+/// Well-known event types (values shared with base::SyncEvent); modules may
+/// define their own types >= kUserBase.
+enum EventType : std::int32_t {
+  kSpinLock = 1,
+  kSpinUnlock = 2,
+  kRefInc = 3,
+  kRefDec = 4,
+  kSemDown = 5,
+  kSemUp = 6,
+  kIrqDisable = 7,
+  kIrqEnable = 8,
+  kUserBase = 1000,
+};
+
+struct Event {
+  void* object = nullptr;     ///< affected kernel object
+  std::int32_t type = 0;      ///< EventType or module-defined
+  std::int32_t line = 0;      ///< source line
+  const char* file = nullptr; ///< source file (static string)
+  std::uint64_t seq = 0;      ///< global sequence number
+};
+
+}  // namespace usk::evmon

@@ -1,0 +1,78 @@
+// Event-log persistence and offline analysis.
+//
+// Paper §3: "we have developed an event monitoring infrastructure with
+// support for on-line analysis in the kernel and in user space, as well as
+// LOGGING FOR LATER ANALYSIS." The wire format keeps the paper's
+// minimal-record philosophy: object id, type, line, and an interned
+// file-name table (the char* pointers of live events cannot be persisted).
+//
+// Workflow: a LogWriter drains events (from the ring or straight from a
+// dispatcher callback) into a compact byte image; a LogReader replays the
+// image later -- typically into the same monitors used online.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evmon/event.hpp"
+#include "evmon/monitors.hpp"
+
+namespace usk::evmon {
+
+/// Serialized event: fixed-size record with a file-table index.
+struct LogRecord {
+  std::uint64_t object = 0;
+  std::uint64_t seq = 0;
+  std::int32_t type = 0;
+  std::int32_t line = 0;
+  std::uint32_t file_idx = 0;
+};
+
+class LogWriter {
+ public:
+  void append(const Event& e);
+
+  /// Serialize to a self-contained byte image (header, file table,
+  /// records).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  [[nodiscard]] std::size_t count() const { return records_.size(); }
+
+ private:
+  std::uint32_t intern(const char* file);
+
+  std::vector<std::string> files_;
+  std::unordered_map<std::string, std::uint32_t> file_idx_;
+  std::vector<LogRecord> records_;
+};
+
+/// Parsed log. Strings are owned by the reader; replayed events carry
+/// pointers into it, so keep the reader alive while analyzing.
+class LogReader {
+ public:
+  /// Returns false on a malformed image (bad magic, truncation,
+  /// out-of-range indices) -- a corrupt log must never crash the analyzer.
+  bool parse(const std::vector<std::uint8_t>& image);
+
+  [[nodiscard]] const std::vector<LogRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const std::string& file_name(std::uint32_t idx) const {
+    return files_[idx];
+  }
+
+  /// Reconstruct the event stream and feed it to a monitor (offline
+  /// analysis of a saved log).
+  void replay(MonitorBase& monitor) const;
+
+  /// Reconstruct one event.
+  [[nodiscard]] Event to_event(const LogRecord& r) const;
+
+ private:
+  std::vector<std::string> files_;
+  std::vector<LogRecord> records_;
+};
+
+}  // namespace usk::evmon

@@ -1,0 +1,128 @@
+#include "evmon/monitors.hpp"
+
+#include <cstdio>
+
+namespace usk::evmon {
+
+namespace {
+std::string site(const Event& e) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%s:%d", e.file ? e.file : "?", e.line);
+  return buf;
+}
+}  // namespace
+
+// --- SpinlockMonitor ---------------------------------------------------------
+
+void SpinlockMonitor::on_event(const Event& e) {
+  if (e.type != EventType::kSpinLock && e.type != EventType::kSpinUnlock) {
+    return;
+  }
+  ++events_seen_;
+  int& depth = held_[e.object];
+  if (e.type == EventType::kSpinLock) {
+    ++lock_events_;
+    if (depth != 0) {
+      report("double lock of " + site(e) + " (already held from " +
+             last_site_[e.object] + ")");
+    }
+    ++depth;
+    last_site_[e.object] = site(e);
+  } else {
+    if (depth == 0) {
+      report("unlock of unlocked lock at " + site(e));
+    } else {
+      --depth;
+    }
+  }
+}
+
+void SpinlockMonitor::finish() {
+  for (const auto& [obj, depth] : held_) {
+    if (depth != 0) {
+      report("lock still held at finish (acquired at " + last_site_[obj] +
+             ")");
+    }
+  }
+}
+
+// --- RefCountMonitor ---------------------------------------------------------
+
+void RefCountMonitor::on_event(const Event& e) {
+  if (e.type != EventType::kRefInc && e.type != EventType::kRefDec) return;
+  ++events_seen_;
+  std::int64_t& b = balance_[e.object];
+  if (e.type == EventType::kRefInc) {
+    ++b;
+  } else {
+    --b;
+    if (b < 0) {
+      report("refcount dropped below its initial value at " + site(e));
+    }
+  }
+}
+
+void RefCountMonitor::finish() {
+  for (const auto& [obj, b] : balance_) {
+    if (b > 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "refcount leak: object %p ended %+lld from baseline",
+                    obj, static_cast<long long>(b));
+      report(buf);
+    }
+  }
+}
+
+std::int64_t RefCountMonitor::balance(void* object) const {
+  auto it = balance_.find(object);
+  return it == balance_.end() ? 0 : it->second;
+}
+
+// --- SemaphoreMonitor --------------------------------------------------------
+
+void SemaphoreMonitor::on_event(const Event& e) {
+  if (e.type != EventType::kSemDown && e.type != EventType::kSemUp) return;
+  ++events_seen_;
+  std::int64_t& b = balance_[e.object];
+  b += (e.type == EventType::kSemDown) ? 1 : -1;
+}
+
+void SemaphoreMonitor::finish() {
+  for (const auto& [obj, b] : balance_) {
+    if (b != 0) {
+      char buf[128];
+      std::snprintf(buf, sizeof(buf),
+                    "semaphore imbalance: object %p has %+lld unmatched downs",
+                    obj, static_cast<long long>(b));
+      report(buf);
+    }
+  }
+}
+
+// --- IrqMonitor ----------------------------------------------------------------
+
+void IrqMonitor::on_event(const Event& e) {
+  if (e.type != EventType::kIrqDisable && e.type != EventType::kIrqEnable) {
+    return;
+  }
+  ++events_seen_;
+  if (e.type == EventType::kIrqDisable) {
+    ++depth_;
+  } else {
+    --depth_;
+    if (depth_ < 0) {
+      report("interrupts enabled more times than disabled at " + site(e));
+      depth_ = 0;
+    }
+  }
+}
+
+void IrqMonitor::finish() {
+  if (depth_ > 0) {
+    report("interrupts left disabled at finish (depth " +
+           std::to_string(depth_) + ")");
+  }
+}
+
+}  // namespace usk::evmon

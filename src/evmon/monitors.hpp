@@ -1,0 +1,115 @@
+// Online in-kernel monitors for higher-level safety invariants.
+//
+// Paper §3: "In the kernel, there are many properties we would like to
+// verify: spinlocks that are locked are later unlocked, reference counters
+// are incremented and decremented symmetrically, interrupts that are
+// disabled are later re-enabled." Each monitor registers a synchronous
+// callback with the dispatcher and checks one such invariant online.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evmon/dispatcher.hpp"
+#include "evmon/event.hpp"
+
+namespace usk::evmon {
+
+/// Common plumbing: attach/detach and anomaly collection.
+class MonitorBase {
+ public:
+  virtual ~MonitorBase() { detach(); }
+
+  void attach(Dispatcher& d) {
+    dispatcher_ = &d;
+    id_ = d.register_callback([this](const Event& e) { on_event(e); });
+  }
+
+  void detach() {
+    if (dispatcher_ != nullptr) {
+      dispatcher_->unregister_callback(id_);
+      dispatcher_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] const std::vector<std::string>& anomalies() const {
+    return anomalies_;
+  }
+  [[nodiscard]] std::uint64_t events_seen() const { return events_seen_; }
+
+  /// Feed one event directly (offline analysis: replaying a saved log).
+  void feed(const Event& e) { on_event(e); }
+
+ protected:
+  virtual void on_event(const Event& e) = 0;
+
+  void report(std::string what) { anomalies_.push_back(std::move(what)); }
+  std::uint64_t events_seen_ = 0;
+
+ private:
+  Dispatcher* dispatcher_ = nullptr;
+  Dispatcher::CallbackId id_ = 0;
+  std::vector<std::string> anomalies_;
+};
+
+/// Verifies spinlock lock/unlock pairing: no double lock, no unlock of an
+/// unlocked lock, and (at finish()) no lock still held.
+class SpinlockMonitor final : public MonitorBase {
+ public:
+  void finish();
+
+  [[nodiscard]] std::uint64_t lock_events() const { return lock_events_; }
+
+ protected:
+  void on_event(const Event& e) override;
+
+ private:
+  std::unordered_map<void*, int> held_;  // object -> depth
+  std::unordered_map<void*, std::string> last_site_;
+  std::uint64_t lock_events_ = 0;
+};
+
+/// Verifies refcount inc/dec symmetry and catches drops below zero.
+class RefCountMonitor final : public MonitorBase {
+ public:
+  /// Report every object whose balance is non-zero (leak or over-put).
+  void finish();
+
+  [[nodiscard]] std::int64_t balance(void* object) const;
+
+ protected:
+  void on_event(const Event& e) override;
+
+ private:
+  std::unordered_map<void*, std::int64_t> balance_;
+};
+
+/// Verifies semaphore down/up symmetry.
+class SemaphoreMonitor final : public MonitorBase {
+ public:
+  void finish();
+
+ protected:
+  void on_event(const Event& e) override;
+
+ private:
+  std::unordered_map<void*, std::int64_t> balance_;
+};
+
+/// Verifies that disabled interrupts are re-enabled.
+class IrqMonitor final : public MonitorBase {
+ public:
+  void finish();
+
+  [[nodiscard]] int depth() const { return depth_; }
+
+ protected:
+  void on_event(const Event& e) override;
+
+ private:
+  int depth_ = 0;
+};
+
+}  // namespace usk::evmon

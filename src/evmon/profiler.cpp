@@ -1,0 +1,60 @@
+#include "evmon/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace usk::evmon {
+
+void LockProfiler::on_event(const Event& e) {
+  bool acquire = e.type == EventType::kSpinLock ||
+                 e.type == EventType::kSemDown;
+  bool release = e.type == EventType::kSpinUnlock ||
+                 e.type == EventType::kSemUp;
+  if (!acquire && !release) return;
+  ++events_seen_;
+
+  if (acquire) {
+    Open& o = open_[e.object];
+    o.since = std::chrono::steady_clock::now();
+    char buf[192];
+    std::snprintf(buf, sizeof(buf), "%s:%d", e.file ? e.file : "?", e.line);
+    o.site = buf;
+    o.held = true;
+    return;
+  }
+
+  auto it = open_.find(e.object);
+  if (it == open_.end() || !it->second.held) return;  // unmatched release
+  auto now = std::chrono::steady_clock::now();
+  auto hold = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                           it->second.since)
+          .count());
+  it->second.held = false;
+
+  HoldStats& hs = stats_[e.object];
+  hs.object = e.object;
+  ++hs.acquisitions;
+  hs.total_hold_ns += hold;
+  if (hold >= hs.max_hold_ns) {
+    hs.max_hold_ns = hold;
+    hs.site = it->second.site;
+  }
+}
+
+std::vector<HoldStats> LockProfiler::report() const {
+  std::vector<HoldStats> out;
+  out.reserve(stats_.size());
+  for (const auto& [obj, hs] : stats_) out.push_back(hs);
+  std::sort(out.begin(), out.end(), [](const HoldStats& a, const HoldStats& b) {
+    return a.total_hold_ns > b.total_hold_ns;
+  });
+  return out;
+}
+
+const HoldStats* LockProfiler::stats_for(void* object) const {
+  auto it = stats_.find(object);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+}  // namespace usk::evmon

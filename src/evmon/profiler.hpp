@@ -1,0 +1,59 @@
+// Lock-hold profiler: bottleneck analysis over the event stream.
+//
+// Paper §3.5 (event monitoring future work): "We intend to develop
+// on-line, in-kernel monitors for reference counters, spinlocks, and
+// semaphores, as well as TOOLS THAT ALLOW FOR MORE IN-DEPTH ANALYSIS OF
+// PERFORMANCE BOTTLENECKS RELATED TO THESE OBJECTS."
+//
+// The profiler pairs lock/unlock (and semaphore down/up) events per object
+// and accumulates hold-time statistics. Events carry no timestamp (the
+// paper's record is deliberately minimal), but in-kernel callbacks run
+// synchronously at the instrumentation point, so the profiler's own clock
+// reads are the event times.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "evmon/monitors.hpp"
+
+namespace usk::evmon {
+
+struct HoldStats {
+  void* object = nullptr;
+  std::string site;              ///< acquire site of the longest hold
+  std::uint64_t acquisitions = 0;
+  std::uint64_t total_hold_ns = 0;
+  std::uint64_t max_hold_ns = 0;
+
+  [[nodiscard]] double mean_hold_ns() const {
+    return acquisitions ? static_cast<double>(total_hold_ns) /
+                              static_cast<double>(acquisitions)
+                        : 0.0;
+  }
+};
+
+class LockProfiler final : public MonitorBase {
+ public:
+  /// Per-object statistics, sorted by total hold time (worst first).
+  [[nodiscard]] std::vector<HoldStats> report() const;
+
+  [[nodiscard]] const HoldStats* stats_for(void* object) const;
+
+ protected:
+  void on_event(const Event& e) override;
+
+ private:
+  struct Open {
+    std::chrono::steady_clock::time_point since;
+    std::string site;
+    bool held = false;
+  };
+  std::unordered_map<void*, HoldStats> stats_;
+  std::unordered_map<void*, Open> open_;
+};
+
+}  // namespace usk::evmon

@@ -1,0 +1,148 @@
+#include "evmon/rules.hpp"
+
+#include <sstream>
+
+namespace usk::evmon {
+
+// --- ObjectRegistry ------------------------------------------------------------
+
+ObjectRegistry& ObjectRegistry::instance() {
+  static ObjectRegistry r;
+  return r;
+}
+
+void ObjectRegistry::register_object(const void* obj, std::string klass,
+                                     std::string name) {
+  std::lock_guard lk(mu_);
+  map_[obj] = Info{std::move(klass), std::move(name)};
+}
+
+void ObjectRegistry::unregister_object(const void* obj) {
+  std::lock_guard lk(mu_);
+  map_.erase(obj);
+}
+
+const ObjectRegistry::Info* ObjectRegistry::find(const void* obj) const {
+  std::lock_guard lk(mu_);
+  auto it = map_.find(obj);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void ObjectRegistry::clear() {
+  std::lock_guard lk(mu_);
+  map_.clear();
+}
+
+std::size_t ObjectRegistry::size() const {
+  std::lock_guard lk(mu_);
+  return map_.size();
+}
+
+// --- helpers -----------------------------------------------------------------------
+
+std::string_view event_class(std::int32_t type) {
+  switch (type) {
+    case EventType::kSpinLock:
+    case EventType::kSpinUnlock:
+      return "spinlock";
+    case EventType::kRefInc:
+    case EventType::kRefDec:
+      return "refcount";
+    case EventType::kSemDown:
+    case EventType::kSemUp:
+      return "semaphore";
+    case EventType::kIrqDisable:
+    case EventType::kIrqEnable:
+      return "irq";
+    default:
+      return "user";
+  }
+}
+
+bool glob_match(std::string_view pattern, std::string_view text) {
+  // Iterative wildcard match with backtracking over the last '*'.
+  std::size_t p = 0, t = 0;
+  std::size_t star = std::string_view::npos, mark = 0;
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == text[t] || pattern[p] == '?')) {
+      ++p;
+      ++t;
+    } else if (p < pattern.size() && pattern[p] == '*') {
+      star = p++;
+      mark = t;
+    } else if (star != std::string_view::npos) {
+      p = star + 1;
+      t = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '*') ++p;
+  return p == pattern.size();
+}
+
+// --- RuleSet ----------------------------------------------------------------------------
+
+RuleParseResult RuleSet::parse(std::string_view text) {
+  rules_.clear();
+  RuleParseResult res;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Strip comments.
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream ls(line);
+    std::string action, klass, name;
+    if (!(ls >> action)) continue;  // blank
+    if (!(ls >> klass >> name)) {
+      return {false, line_no, "expected: <monitor|ignore> <class> <name>"};
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return {false, line_no, "trailing tokens after rule"};
+    }
+    Rule r;
+    if (action == "monitor") {
+      r.action = RuleAction::kMonitor;
+    } else if (action == "ignore") {
+      r.action = RuleAction::kIgnore;
+    } else {
+      return {false, line_no, "unknown action '" + action + "'"};
+    }
+    r.klass_pattern = klass;
+    r.name_pattern = name;
+    rules_.push_back(std::move(r));
+  }
+  return res;
+}
+
+bool RuleSet::allows(const Event& e) const {
+  std::string_view klass = event_class(e.type);
+  const ObjectRegistry::Info* info =
+      ObjectRegistry::instance().find(e.object);
+  std::string_view name = info != nullptr ? std::string_view(info->name)
+                                          : std::string_view("<anon>");
+  // A registered object may override the type-derived class (e.g., a
+  // module-specific counter logged with a user event type).
+  if (info != nullptr && !info->klass.empty()) klass = info->klass;
+
+  for (const Rule& r : rules_) {
+    if (glob_match(r.klass_pattern, klass) &&
+        glob_match(r.name_pattern, name)) {
+      if (r.action == RuleAction::kMonitor) {
+        ++allowed;
+        return true;
+      }
+      ++suppressed;
+      return false;
+    }
+  }
+  ++suppressed;
+  return false;  // default deny
+}
+
+}  // namespace usk::evmon

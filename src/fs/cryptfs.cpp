@@ -1,0 +1,86 @@
+#include "fs/cryptfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "vm/phys.hpp"
+
+namespace usk::fs {
+
+namespace {
+/// splitmix64: deterministic, well-mixed 8-byte keystream block.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+std::uint8_t CryptFs::keystream(InodeNum ino, std::uint64_t pos) const {
+  std::uint64_t block = mix(key_ ^ (ino * 0xC2B2AE3D27D4EB4Full) ^ (pos >> 3));
+  return static_cast<std::uint8_t>(block >> ((pos & 7) * 8));
+}
+
+Result<std::size_t> CryptFs::read(InodeNum ino, std::uint64_t offset,
+                                  std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    std::size_t chunk = std::min<std::size_t>(out.size() - done, vm::kPageSize);
+    ++cstats_.tmp_allocs;
+    mm::BufferHandle tmp = USK_ALLOC(alloc_, vm::kPageSize);
+
+    std::byte staging[vm::kPageSize];
+    Result<std::size_t> r =
+        lower_.read(ino, offset + done, std::span(staging, chunk));
+    if (!r) {
+      alloc_.free(tmp);
+      return r;
+    }
+    std::size_t got = r.value();
+    if (got > 0) {
+      // Stage the ciphertext in wrapper memory, decipher, hand out.
+      alloc_.write(tmp, 0, staging, got);
+      alloc_.read(tmp, 0, staging, got);
+      for (std::size_t i = 0; i < got; ++i) {
+        staging[i] ^= static_cast<std::byte>(
+            keystream(ino, offset + done + i));
+      }
+      std::memcpy(out.data() + done, staging, got);
+      cstats_.bytes_decrypted += got;
+    }
+    alloc_.free(tmp);
+    done += got;
+    if (got < chunk) break;  // EOF
+  }
+  return done;
+}
+
+Result<std::size_t> CryptFs::write(InodeNum ino, std::uint64_t offset,
+                                   std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    std::size_t chunk = std::min<std::size_t>(in.size() - done, vm::kPageSize);
+    ++cstats_.tmp_allocs;
+    mm::BufferHandle tmp = USK_ALLOC(alloc_, vm::kPageSize);
+
+    std::byte staging[vm::kPageSize];
+    std::memcpy(staging, in.data() + done, chunk);
+    for (std::size_t i = 0; i < chunk; ++i) {
+      staging[i] ^= static_cast<std::byte>(keystream(ino, offset + done + i));
+    }
+    alloc_.write(tmp, 0, staging, chunk);
+    alloc_.read(tmp, 0, staging, chunk);
+    cstats_.bytes_encrypted += chunk;
+    alloc_.free(tmp);
+
+    Result<std::size_t> r =
+        lower_.write(ino, offset + done, std::span(staging, chunk));
+    if (!r) return r;
+    done += r.value();
+    if (r.value() < chunk) break;
+  }
+  return done;
+}
+
+}  // namespace usk::fs

@@ -1,0 +1,96 @@
+// CryptFs: a stackable encryption filesystem in the FiST/Wrapfs family.
+//
+// The paper's evaluation vehicle Wrapfs comes from the authors' stackable
+// file-system work (FiST [23]), whose canonical non-trivial example is an
+// encryption layer. CryptFs demonstrates the same stacking interface with
+// a real data transformation: every page moves through wrapper-owned
+// temporary buffers (allocated from the pluggable Allocator, so Kefence
+// can guard them) where it is enciphered/deciphered before reaching the
+// lower filesystem.
+//
+// The cipher is a position-dependent XOR keystream keyed by (key, inode,
+// byte offset): cryptographically toy, structurally faithful -- random
+// access works without reading neighbouring data, exactly the property a
+// stackable encryption layer needs.
+#pragma once
+
+#include <cstdint>
+
+#include "fs/filesystem.hpp"
+#include "mm/allocator.hpp"
+
+namespace usk::fs {
+
+struct CryptFsStats {
+  std::uint64_t bytes_encrypted = 0;
+  std::uint64_t bytes_decrypted = 0;
+  std::uint64_t tmp_allocs = 0;
+};
+
+class CryptFs final : public FileSystem {
+ public:
+  CryptFs(FileSystem& lower, mm::Allocator& alloc, std::uint64_t key)
+      : lower_(lower), alloc_(alloc), key_(key) {}
+
+  [[nodiscard]] InodeNum root() const override { return lower_.root(); }
+  [[nodiscard]] const char* fstype() const override { return "cryptfs"; }
+
+  // Namespace operations pass through (names are not enciphered in this
+  // build; FiST's cryptfs offers both modes).
+  Result<InodeNum> lookup(InodeNum dir, std::string_view name) override {
+    return lower_.lookup(dir, name);
+  }
+  Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
+                          std::uint32_t mode) override {
+    return lower_.create(dir, name, type, mode);
+  }
+  Errno unlink(InodeNum dir, std::string_view name) override {
+    return lower_.unlink(dir, name);
+  }
+  Errno link(InodeNum dir, std::string_view name, InodeNum target) override {
+    return lower_.link(dir, name, target);
+  }
+  Errno chmod(InodeNum ino, std::uint32_t mode) override {
+    return lower_.chmod(ino, mode);
+  }
+  Errno rmdir(InodeNum dir, std::string_view name) override {
+    return lower_.rmdir(dir, name);
+  }
+  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+               std::string_view dst_name) override {
+    return lower_.rename(src_dir, src_name, dst_dir, dst_name);
+  }
+  Errno truncate(InodeNum ino, std::uint64_t size) override {
+    return lower_.truncate(ino, size);
+  }
+  Errno getattr(InodeNum ino, StatBuf* st) override {
+    return lower_.getattr(ino, st);
+  }
+  Result<std::vector<DirEntry>> readdir(InodeNum dir) override {
+    return lower_.readdir(dir);
+  }
+  Result<std::vector<DirEntry>> readdir_window(
+      InodeNum dir, std::size_t start, std::size_t max_entries) override {
+    return lower_.readdir_window(dir, start, max_entries);
+  }
+  Errno sync() override { return lower_.sync(); }
+
+  // Data operations encrypt/decrypt through wrapper-owned buffers.
+  Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
+                           std::span<std::byte> out) override;
+  Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
+                            std::span<const std::byte> in) override;
+
+  [[nodiscard]] const CryptFsStats& cstats() const { return cstats_; }
+
+  /// Keystream byte for position `pos` of inode `ino` (exposed for tests).
+  [[nodiscard]] std::uint8_t keystream(InodeNum ino, std::uint64_t pos) const;
+
+ private:
+  FileSystem& lower_;
+  mm::Allocator& alloc_;
+  std::uint64_t key_;
+  CryptFsStats cstats_;
+};
+
+}  // namespace usk::fs

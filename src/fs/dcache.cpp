@@ -1,0 +1,73 @@
+#include "fs/dcache.hpp"
+
+namespace usk::fs {
+
+InodeNum Dcache::lookup(InodeNum parent, std::string_view name,
+                        std::uint32_t fs_id) {
+  USK_SPIN_GUARD(lock_);
+  ++stats_.lookups;
+  auto it = map_.find(Key{fs_id, parent, std::string(name)});
+  if (it == map_.end()) return kInvalidInode;
+  ++stats_.hits;
+  touch(it->first, it->second);
+  return it->second.child;
+}
+
+void Dcache::insert(InodeNum parent, std::string_view name, InodeNum child,
+                    std::uint32_t fs_id) {
+  USK_SPIN_GUARD(lock_);
+  ++stats_.inserts;
+  Key key{fs_id, parent, std::string(name)};
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.child = child;
+    touch(it->first, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    // Evict least-recently used.
+    const Key& victim = lru_.back();
+    map_.erase(victim);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  lru_.push_front(key);
+  map_.emplace(std::move(key), Entry{child, lru_.begin()});
+}
+
+void Dcache::invalidate(InodeNum parent, std::string_view name,
+                        std::uint32_t fs_id) {
+  USK_SPIN_GUARD(lock_);
+  ++stats_.invalidations;
+  auto it = map_.find(Key{fs_id, parent, std::string(name)});
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+void Dcache::invalidate_dir(InodeNum parent, std::uint32_t fs_id) {
+  USK_SPIN_GUARD(lock_);
+  ++stats_.invalidations;
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (it->first.parent == parent && it->first.fs_id == fs_id) {
+      lru_.erase(it->second.lru_it);
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Dcache::clear() {
+  USK_SPIN_GUARD(lock_);
+  map_.clear();
+  lru_.clear();
+}
+
+void Dcache::touch(const Key& k, Entry& e) {
+  lru_.erase(e.lru_it);
+  lru_.push_front(k);
+  e.lru_it = lru_.begin();
+}
+
+}  // namespace usk::fs

@@ -1,0 +1,85 @@
+// Dentry cache guarded by the global dcache_lock.
+//
+// Paper §3.3 instruments exactly this lock: "we added instrumentation for
+// the dentry cache lock, dcache_lock, which prevents race conditions in
+// file-system name-space operations such as renames. During our benchmark,
+// this lock was hit an average of 8,805 times a second." Every lookup,
+// insert, and invalidation here takes the lock, so a metadata-heavy
+// workload (PostMark) generates the same event stream.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+
+#include "base/sync.hpp"
+#include "fs/types.hpp"
+
+namespace usk::fs {
+
+struct DcacheStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t evictions = 0;
+};
+
+/// LRU cache of (parent inode, name) -> child inode, protected by a single
+/// global spinlock like Linux 2.6's dcache_lock.
+class Dcache {
+ public:
+  explicit Dcache(std::size_t capacity = 8192)
+      : capacity_(capacity), lock_("dcache_lock") {}
+
+  /// Returns the cached child inode or kInvalidInode on miss. `fs_id`
+  /// namespaces inode numbers when several filesystems are mounted.
+  InodeNum lookup(InodeNum parent, std::string_view name,
+                  std::uint32_t fs_id = 0);
+
+  void insert(InodeNum parent, std::string_view name, InodeNum child,
+              std::uint32_t fs_id = 0);
+
+  /// Remove one entry (unlink/rename of `name` in `parent`).
+  void invalidate(InodeNum parent, std::string_view name,
+                  std::uint32_t fs_id = 0);
+
+  /// Remove every entry under `parent` (rmdir).
+  void invalidate_dir(InodeNum parent, std::uint32_t fs_id = 0);
+
+  void clear();
+
+  [[nodiscard]] const DcacheStats& stats() const { return stats_; }
+  [[nodiscard]] base::SpinLock& lock() { return lock_; }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t fs_id;
+    InodeNum parent;
+    std::string name;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      return std::hash<std::string>()(k.name) ^
+             (std::hash<InodeNum>()(k.parent) * 0x9E3779B97F4A7C15ull) ^
+             (static_cast<std::size_t>(k.fs_id) << 17);
+    }
+  };
+  struct Entry {
+    InodeNum child;
+    std::list<Key>::iterator lru_it;
+  };
+
+  void touch(const Key& k, Entry& e);
+
+  std::size_t capacity_;
+  base::SpinLock lock_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::list<Key> lru_;  // front = most recent
+  DcacheStats stats_;
+};
+
+}  // namespace usk::fs

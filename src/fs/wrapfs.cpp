@@ -1,0 +1,189 @@
+#include "fs/wrapfs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "vm/phys.hpp"
+
+namespace usk::fs {
+
+WrapFs::~WrapFs() {
+  for (auto& [ino, handle] : private_) alloc_.free(handle);
+}
+
+mm::BufferHandle& WrapFs::private_data(InodeNum ino) {
+  auto it = private_.find(ino);
+  if (it != private_.end()) return it->second;
+  ++wstats_.private_allocs;
+  mm::BufferHandle h = USK_ALLOC(alloc_, sizeof(PrivateData));
+  PrivateData init{};
+  init.lower_ino = ino;
+  alloc_.write(h, 0, &init, sizeof(init));
+  return private_.emplace(ino, h).first->second;
+}
+
+void WrapFs::drop_private(InodeNum ino) {
+  auto it = private_.find(ino);
+  if (it == private_.end()) return;
+  alloc_.free(it->second);
+  private_.erase(it);
+}
+
+void WrapFs::touch_private(InodeNum ino, std::uint64_t bytes_r,
+                           std::uint64_t bytes_w) {
+  mm::BufferHandle& h = private_data(ino);
+  PrivateData pd{};
+  alloc_.read(h, 0, &pd, sizeof(pd));
+  pd.op_count++;
+  pd.bytes_read += bytes_r;
+  pd.bytes_written += bytes_w;
+  alloc_.write(h, 0, &pd, sizeof(pd));
+}
+
+std::string WrapFs::name_through_buffer(std::string_view name) {
+  ++wstats_.name_allocs;
+  mm::BufferHandle h = USK_ALLOC(alloc_, name.size() + 1);
+  alloc_.write(h, 0, name.data(), name.size());
+  const char nul = '\0';
+  alloc_.write(h, name.size(), &nul, 1);
+  std::string out(name.size(), '\0');
+  alloc_.read(h, 0, out.data(), name.size());
+  alloc_.free(h);
+  return out;
+}
+
+Result<InodeNum> WrapFs::lookup(InodeNum dir, std::string_view name) {
+  ++wstats_.ops;
+  std::string n = name_through_buffer(name);
+  Result<InodeNum> r = lower_.lookup(dir, n);
+  if (r) touch_private(r.value(), 0, 0);
+  return r;
+}
+
+Result<InodeNum> WrapFs::create(InodeNum dir, std::string_view name,
+                                FileType type, std::uint32_t mode) {
+  ++wstats_.ops;
+  std::string n = name_through_buffer(name);
+  Result<InodeNum> r = lower_.create(dir, n, type, mode);
+  if (r) touch_private(r.value(), 0, 0);
+  return r;
+}
+
+Errno WrapFs::unlink(InodeNum dir, std::string_view name) {
+  ++wstats_.ops;
+  std::string n = name_through_buffer(name);
+  Result<InodeNum> victim = lower_.lookup(dir, n);
+  Errno e = lower_.unlink(dir, n);
+  if (e == Errno::kOk && victim) drop_private(victim.value());
+  return e;
+}
+
+Errno WrapFs::link(InodeNum dir, std::string_view name, InodeNum target) {
+  ++wstats_.ops;
+  std::string n = name_through_buffer(name);
+  Errno e = lower_.link(dir, n, target);
+  if (e == Errno::kOk) touch_private(target, 0, 0);
+  return e;
+}
+
+Errno WrapFs::chmod(InodeNum ino, std::uint32_t mode) {
+  ++wstats_.ops;
+  touch_private(ino, 0, 0);
+  return lower_.chmod(ino, mode);
+}
+
+Errno WrapFs::rmdir(InodeNum dir, std::string_view name) {
+  ++wstats_.ops;
+  std::string n = name_through_buffer(name);
+  Result<InodeNum> victim = lower_.lookup(dir, n);
+  Errno e = lower_.rmdir(dir, n);
+  if (e == Errno::kOk && victim) drop_private(victim.value());
+  return e;
+}
+
+Errno WrapFs::rename(InodeNum src_dir, std::string_view src_name,
+                     InodeNum dst_dir, std::string_view dst_name) {
+  ++wstats_.ops;
+  std::string sn = name_through_buffer(src_name);
+  std::string dn = name_through_buffer(dst_name);
+  // If the rename replaces an existing target, its private data dies.
+  Result<InodeNum> target = lower_.lookup(dst_dir, dn);
+  Errno e = lower_.rename(src_dir, sn, dst_dir, dn);
+  if (e == Errno::kOk && target) drop_private(target.value());
+  return e;
+}
+
+Result<std::size_t> WrapFs::read(InodeNum ino, std::uint64_t offset,
+                                 std::span<std::byte> out) {
+  ++wstats_.ops;
+  std::size_t done = 0;
+  while (done < out.size()) {
+    std::size_t chunk = std::min<std::size_t>(out.size() - done, vm::kPageSize);
+    // Temporary page buffer: lower data is staged through wrapper-owned
+    // memory, the pattern Kefence is meant to guard.
+    ++wstats_.tmp_page_allocs;
+    mm::BufferHandle tmp = USK_ALLOC(alloc_, vm::kPageSize);
+
+    std::byte staging[vm::kPageSize];
+    Result<std::size_t> r =
+        lower_.read(ino, offset + done, std::span(staging, chunk));
+    if (!r) {
+      alloc_.free(tmp);
+      return r;
+    }
+    std::size_t got = r.value();
+    if (got > 0) {
+      alloc_.write(tmp, 0, staging, got);
+      alloc_.read(tmp, 0, out.data() + done, got);
+    }
+    alloc_.free(tmp);
+    done += got;
+    if (got < chunk) break;  // EOF
+  }
+  touch_private(ino, done, 0);
+  return done;
+}
+
+Result<std::size_t> WrapFs::write(InodeNum ino, std::uint64_t offset,
+                                  std::span<const std::byte> in) {
+  ++wstats_.ops;
+  std::size_t done = 0;
+  while (done < in.size()) {
+    std::size_t chunk = std::min<std::size_t>(in.size() - done, vm::kPageSize);
+    ++wstats_.tmp_page_allocs;
+    mm::BufferHandle tmp = USK_ALLOC(alloc_, vm::kPageSize);
+    alloc_.write(tmp, 0, in.data() + done, chunk);
+
+    std::byte staging[vm::kPageSize];
+    alloc_.read(tmp, 0, staging, chunk);
+    alloc_.free(tmp);
+
+    Result<std::size_t> r =
+        lower_.write(ino, offset + done, std::span(staging, chunk));
+    if (!r) return r;
+    done += r.value();
+    if (r.value() < chunk) break;
+  }
+  touch_private(ino, 0, done);
+  return done;
+}
+
+Errno WrapFs::truncate(InodeNum ino, std::uint64_t size) {
+  ++wstats_.ops;
+  touch_private(ino, 0, 0);
+  return lower_.truncate(ino, size);
+}
+
+Errno WrapFs::getattr(InodeNum ino, StatBuf* st) {
+  ++wstats_.ops;
+  touch_private(ino, 0, 0);
+  return lower_.getattr(ino, st);
+}
+
+Result<std::vector<DirEntry>> WrapFs::readdir(InodeNum dir) {
+  ++wstats_.ops;
+  touch_private(dir, 0, 0);
+  return lower_.readdir(dir);
+}
+
+}  // namespace usk::fs

@@ -1,0 +1,157 @@
+#include "kefence/kefence.hpp"
+
+#include "base/klog.hpp"
+
+namespace usk::kefence {
+
+Kefence::Kefence(mm::Vmalloc& vmalloc, KefenceOptions opt,
+                 mm::Allocator* fallback)
+    : vmalloc_(vmalloc), opt_(opt), fallback_(fallback) {
+  if (opt_.sample_interval == 0) opt_.sample_interval = 1;
+  vmalloc_.space().set_fault_handler(
+      [this](const vm::Fault& f) { return on_fault(f); });
+}
+
+Kefence::~Kefence() { vmalloc_.space().clear_fault_handler(); }
+
+mm::BufferHandle Kefence::alloc(std::size_t n, const char* file, int line) {
+  ++stats_.alloc_calls;
+  if (module_disabled_) {
+    ++stats_.failed_allocs;
+    return {};
+  }
+  if (n == 0) n = 1;
+  // Selective protection: guard every Nth allocation, send the rest to the
+  // cheap fallback path. Guarded handles carry a VAddr; fallback handles a
+  // raw pointer, which is how accesses are routed back.
+  if (opt_.sample_interval > 1 && fallback_ != nullptr &&
+      (alloc_counter_++ % opt_.sample_interval) != 0) {
+    ++kstats_.passthrough_allocs;
+    mm::BufferHandle h = fallback_->alloc(n, file, line);
+    if (!h.valid()) {
+      ++stats_.failed_allocs;
+      return h;
+    }
+    stats_.bytes_requested += n;
+    ++stats_.outstanding_allocs;
+    stats_.outstanding_bytes += n;
+    return h;
+  }
+  ++kstats_.guarded_allocs;
+  mm::VmallocOptions vopt;
+  vopt.guard_pages_before = 1;
+  vopt.guard_pages_after = 1;
+  vopt.align_end = !opt_.protect_underflow;
+  vm::VAddr va = vmalloc_.alloc(n, vopt, file, line);
+  if (va == 0) {
+    ++stats_.failed_allocs;
+    return {};
+  }
+  stats_.bytes_requested += n;
+  ++stats_.outstanding_allocs;
+  stats_.outstanding_bytes += n;
+  stats_.outstanding_pages += vm::pages_for(n);
+  if (stats_.outstanding_pages > stats_.peak_outstanding_pages) {
+    stats_.peak_outstanding_pages = stats_.outstanding_pages;
+  }
+  return mm::BufferHandle{nullptr, va, n};
+}
+
+void Kefence::free(const mm::BufferHandle& h) {
+  ++stats_.free_calls;
+  if (!guarded(h)) {
+    stats_.outstanding_bytes -= h.size;
+    --stats_.outstanding_allocs;
+    fallback_->free(h);
+    return;
+  }
+  if (h.va == 0) return;
+  const mm::Vmalloc::Area* area = vmalloc_.find_area(h.va);
+  if (area == nullptr) {
+    base::klogf(base::LogLevel::kErr,
+                "kefence: vfree of unknown address 0x%llx",
+                static_cast<unsigned long long>(h.va));
+    return;
+  }
+  stats_.outstanding_bytes -= area->size;
+  stats_.outstanding_pages -= vm::pages_for(area->size);
+  --stats_.outstanding_allocs;
+  vmalloc_.free(h.va);
+}
+
+Errno Kefence::read(const mm::BufferHandle& h, std::size_t offset, void* dst,
+                    std::size_t n) {
+  if (module_disabled_) return Errno::kEFAULT;
+  if (!guarded(h)) return fallback_->read(h, offset, dst, n);
+  return vmalloc_.space().load(h.va + offset, dst, n);
+}
+
+Errno Kefence::write(const mm::BufferHandle& h, std::size_t offset,
+                     const void* src, std::size_t n) {
+  if (module_disabled_) return Errno::kEFAULT;
+  if (!guarded(h)) return fallback_->write(h, offset, src, n);
+  return vmalloc_.space().store(h.va + offset, src, n);
+}
+
+vm::FaultResolution Kefence::on_fault(const vm::Fault& f) {
+  const mm::Vmalloc::Area* area = vmalloc_.find_area_containing(f.addr);
+  if (f.kind != vm::FaultKind::kGuard || area == nullptr) {
+    ++kstats_.wild_faults;
+    base::klogf(base::LogLevel::kErr,
+                "kefence: wild %s fault at 0x%llx (no guarded buffer)",
+                f.access == vm::Access::kWrite ? "write" : "read",
+                static_cast<unsigned long long>(f.addr));
+    return vm::FaultResolution::kFatal;
+  }
+
+  bool is_underflow = f.addr < area->data_va;
+  if (is_underflow) {
+    ++kstats_.underflows;
+  } else {
+    ++kstats_.overflows;
+  }
+  base::klogf(
+      base::LogLevel::kCrit,
+      "kefence: buffer %s at 0x%llx (%s access); buffer of %zu bytes "
+      "allocated at %s:%d [data 0x%llx]",
+      is_underflow ? "underflow" : "overflow",
+      static_cast<unsigned long long>(f.addr),
+      f.access == vm::Access::kWrite ? "write" : "read", area->size,
+      area->file, area->line, static_cast<unsigned long long>(area->data_va));
+
+  switch (opt_.mode) {
+    case Mode::kCrashModule:
+      // Security-critical configuration: disable the module so no further
+      // malicious operation can proceed.
+      module_disabled_ = true;
+      ++kstats_.module_crashes;
+      return vm::FaultResolution::kFatal;
+
+    case Mode::kLogRemapReadOnly: {
+      if (f.access == vm::Access::kWrite) {
+        // Read-only auto-map cannot satisfy a write; report and fail the
+        // access, leaving the mapping for subsequent reads.
+        ++kstats_.remaps;
+        (void)vmalloc_.space().promote_guard(f.addr, /*readable=*/true,
+                                             /*writable=*/false);
+        return vm::FaultResolution::kFatal;
+      }
+      ++kstats_.remaps;
+      Errno e = vmalloc_.space().promote_guard(f.addr, /*readable=*/true,
+                                               /*writable=*/false);
+      return e == Errno::kOk ? vm::FaultResolution::kRetry
+                             : vm::FaultResolution::kFatal;
+    }
+
+    case Mode::kLogRemapReadWrite: {
+      ++kstats_.remaps;
+      Errno e = vmalloc_.space().promote_guard(f.addr, /*readable=*/true,
+                                               /*writable=*/true);
+      return e == Errno::kOk ? vm::FaultResolution::kRetry
+                             : vm::FaultResolution::kFatal;
+    }
+  }
+  return vm::FaultResolution::kFatal;
+}
+
+}  // namespace usk::kefence

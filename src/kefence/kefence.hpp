@@ -1,0 +1,107 @@
+// Kefence: hardware-level buffer-overflow detection for kernel memory
+// (paper §3.2; the in-kernel Electric Fence).
+//
+// "Kefence aligns memory buffers allocated in the kernel virtual address
+// space (using vmalloc) to page boundaries. ... A guardian page table
+// entry (PTE) is added adjacent to each buffer so that whenever a buffer
+// overflow occurs, the guardian PTE is accessed. The guardian PTE has read
+// and write permissions disabled; hence, accessing it causes a page fault.
+// The page fault handler ... reports a buffer overflow."
+//
+// Configurations reproduced:
+//  * kCrashModule      -- security-critical: the module is disabled on the
+//                         first overflow, preventing further damage.
+//  * kLogRemapReadOnly -- debugging: auto-map a read-only page over the
+//                         guardian so out-of-bounds *reads* proceed.
+//  * kLogRemapReadWrite - debugging: auto-map read-write so the offender
+//                         can continue entirely; everything is logged.
+//
+// As in the paper, a buffer is end-aligned by default so overflows hit the
+// trailing guardian immediately; overflow and underflow can only both be
+// caught byte-exactly when the allocation is a multiple of the page size.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "mm/allocator.hpp"
+#include "mm/vmalloc.hpp"
+
+namespace usk::kefence {
+
+enum class Mode {
+  kCrashModule,
+  kLogRemapReadOnly,
+  kLogRemapReadWrite,
+};
+
+struct KefenceOptions {
+  Mode mode = Mode::kCrashModule;
+  /// Align the buffer start (catch underflow) instead of the end (catch
+  /// overflow). Both guards are always installed; alignment decides which
+  /// violations are byte-exact.
+  bool protect_underflow = false;
+  /// Selective protection (paper §3.5 future work: "dynamically decide
+  /// which memory should be protected at runtime"): guard only every Nth
+  /// allocation, routing the rest to the cheap fallback allocator. 1 =
+  /// protect everything. Requires a fallback allocator for values > 1.
+  std::uint32_t sample_interval = 1;
+};
+
+struct KefenceStats {
+  std::uint64_t overflows = 0;
+  std::uint64_t underflows = 0;
+  std::uint64_t wild_faults = 0;  ///< faults not matching any live area
+  std::uint64_t remaps = 0;
+  std::uint64_t module_crashes = 0;
+  std::uint64_t guarded_allocs = 0;     ///< allocations with guardian PTEs
+  std::uint64_t passthrough_allocs = 0; ///< sampled out to the fallback
+};
+
+class Kefence final : public mm::Allocator {
+ public:
+  /// `fallback` serves the unguarded share of allocations when
+  /// opt.sample_interval > 1 (typically the kmalloc instance the module
+  /// would otherwise use).
+  Kefence(mm::Vmalloc& vmalloc, KefenceOptions opt = KefenceOptions{},
+          mm::Allocator* fallback = nullptr);
+  ~Kefence() override;
+
+  Kefence(const Kefence&) = delete;
+  Kefence& operator=(const Kefence&) = delete;
+
+  mm::BufferHandle alloc(std::size_t n, const char* file, int line) override;
+  void free(const mm::BufferHandle& h) override;
+
+  /// MMU-mediated access: the page tables enforce the guards.
+  Errno read(const mm::BufferHandle& h, std::size_t offset, void* dst,
+             std::size_t n) override;
+  Errno write(const mm::BufferHandle& h, std::size_t offset, const void* src,
+              std::size_t n) override;
+
+  [[nodiscard]] const mm::AllocatorStats& stats() const override {
+    return stats_;
+  }
+  [[nodiscard]] const char* name() const override { return "kefence"; }
+
+  [[nodiscard]] const KefenceStats& kstats() const { return kstats_; }
+  /// True after a crash-mode violation: the protected module is disabled.
+  [[nodiscard]] bool module_disabled() const { return module_disabled_; }
+  void reset_module() { module_disabled_ = false; }
+
+ private:
+  vm::FaultResolution on_fault(const vm::Fault& f);
+  /// Is this handle one of ours (guarded) or the fallback's?
+  static bool guarded(const mm::BufferHandle& h) { return h.raw == nullptr; }
+
+  mm::Vmalloc& vmalloc_;
+  KefenceOptions opt_;
+  mm::Allocator* fallback_;
+  std::uint64_t alloc_counter_ = 0;
+  mm::AllocatorStats stats_;
+  KefenceStats kstats_;
+  bool module_disabled_ = false;
+};
+
+}  // namespace usk::kefence

@@ -1,0 +1,74 @@
+// Pluggable kernel-memory allocation interface.
+//
+// The paper modifies Linux headers so that "kmalloc is replaced by vmalloc
+// automatically if a special compiler flag is set" (§3.2). Our analogue is
+// this interface: kernel modules (WrapFs, JournalFs) allocate through an
+// Allocator&, and the build of the module chooses Kmalloc (vanilla, raw
+// unchecked memory) or Kefence (guard-paged, MMU-checked memory).
+//
+// Buffer access deliberately mimics C semantics: offsets are NOT checked by
+// the handle itself. An out-of-bounds write through a Kmalloc buffer
+// silently corrupts adjacent memory -- through a Kefence buffer it hits the
+// guardian PTE and faults.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "base/errno.hpp"
+
+namespace usk::mm {
+
+/// Opaque handle to an allocation. `raw` is a direct pointer for
+/// linear-mapped (kmalloc) memory; `va` is a simulated virtual address for
+/// MMU-mediated (vmalloc/Kefence) memory. Exactly one is meaningful.
+struct BufferHandle {
+  void* raw = nullptr;
+  std::uint64_t va = 0;
+  std::size_t size = 0;  ///< requested size in bytes
+
+  [[nodiscard]] bool valid() const { return raw != nullptr || va != 0; }
+};
+
+struct AllocatorStats {
+  std::uint64_t alloc_calls = 0;
+  std::uint64_t free_calls = 0;
+  std::uint64_t failed_allocs = 0;
+  std::uint64_t bytes_requested = 0;      ///< cumulative
+  std::uint64_t outstanding_allocs = 0;
+  std::uint64_t outstanding_bytes = 0;    ///< requested bytes now live
+  std::uint64_t outstanding_pages = 0;    ///< page footprint now live
+  std::uint64_t peak_outstanding_pages = 0;
+
+  /// Mean size of a request (paper reports 80 bytes for Wrapfs).
+  [[nodiscard]] double mean_request_size() const {
+    return alloc_calls == 0
+               ? 0.0
+               : static_cast<double>(bytes_requested) /
+                     static_cast<double>(alloc_calls);
+  }
+};
+
+/// Abstract kernel allocator. `file`/`line` identify the allocation site so
+/// overflow reports can name the buffer's origin.
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  virtual BufferHandle alloc(std::size_t n, const char* file = "?",
+                             int line = 0) = 0;
+  virtual void free(const BufferHandle& h) = 0;
+
+  /// C-style unchecked access at `handle.base + offset`.
+  virtual Errno read(const BufferHandle& h, std::size_t offset, void* dst,
+                     std::size_t n) = 0;
+  virtual Errno write(const BufferHandle& h, std::size_t offset,
+                      const void* src, std::size_t n) = 0;
+
+  [[nodiscard]] virtual const AllocatorStats& stats() const = 0;
+  [[nodiscard]] virtual const char* name() const = 0;
+};
+
+#define USK_ALLOC(allocator, n) (allocator).alloc((n), __FILE__, __LINE__)
+
+}  // namespace usk::mm

@@ -1,0 +1,120 @@
+#include "mm/kmalloc.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace usk::mm {
+
+namespace {
+constexpr std::size_t kMaxSmall = 4096;
+}
+
+Kmalloc::~Kmalloc() {
+  for (vm::Pfn pfn : slab_frames_) phys_.free_frame(pfn);
+  for (const auto& [ptr, info] : large_) {
+    phys_.free_contiguous(info.first, info.frames);
+  }
+}
+
+std::size_t Kmalloc::size_class(std::size_t n) {
+  std::size_t klass = kMinClass;
+  while (klass < n) klass <<= 1;
+  return klass;
+}
+
+int Kmalloc::class_index(std::size_t klass) {
+  int idx = 0;
+  for (std::size_t c = kMinClass; c < klass; c <<= 1) ++idx;
+  return idx;
+}
+
+BufferHandle Kmalloc::alloc(std::size_t n, const char* /*file*/,
+                            int /*line*/) {
+  ++stats_.alloc_calls;
+  if (n == 0) n = 1;
+
+  void* ptr = nullptr;
+  std::size_t footprint_pages = 0;
+
+  if (n <= kMaxSmall) {
+    std::size_t klass = size_class(n);
+    int idx = class_index(klass);
+    if (free_lists_[idx].empty()) {
+      // Refill: carve one frame into chunks of this class.
+      Result<vm::Pfn> frame = phys_.alloc_frame();
+      if (!frame) {
+        ++stats_.failed_allocs;
+        return {};
+      }
+      slab_frames_.push_back(frame.value());
+      std::byte* base = phys_.frame_data(frame.value());
+      for (std::size_t off = 0; off + klass <= vm::kPageSize; off += klass) {
+        free_lists_[idx].push_back(base + off);
+      }
+    }
+    ptr = free_lists_[idx].back();
+    free_lists_[idx].pop_back();
+    live_[ptr] = ChunkInfo{klass, n};
+    // Slab accounting: charge the chunk's share of a page.
+    footprint_pages = 0;  // shared frames counted via slab_frames_ growth
+  } else {
+    std::size_t frames = vm::pages_for(n);
+    Result<vm::Pfn> first = phys_.alloc_contiguous(frames);
+    if (!first) {
+      ++stats_.failed_allocs;
+      return {};
+    }
+    ptr = phys_.frame_data(first.value());
+    large_[ptr] = LargeInfo{first.value(), frames, n};
+    footprint_pages = frames;
+  }
+
+  stats_.bytes_requested += n;
+  ++stats_.outstanding_allocs;
+  stats_.outstanding_bytes += n;
+  stats_.outstanding_pages += footprint_pages;
+  if (stats_.outstanding_pages > stats_.peak_outstanding_pages) {
+    stats_.peak_outstanding_pages = stats_.outstanding_pages;
+  }
+  return BufferHandle{ptr, 0, n};
+}
+
+void Kmalloc::free(const BufferHandle& h) {
+  ++stats_.free_calls;
+  if (h.raw == nullptr) return;
+
+  if (auto it = live_.find(h.raw); it != live_.end()) {
+    int idx = class_index(it->second.klass);
+    stats_.outstanding_bytes -= it->second.requested;
+    --stats_.outstanding_allocs;
+    std::memset(h.raw, 0x6b, it->second.klass);  // SLAB_POISON
+    free_lists_[idx].push_back(h.raw);
+    live_.erase(it);
+    return;
+  }
+  if (auto it = large_.find(h.raw); it != large_.end()) {
+    stats_.outstanding_bytes -= it->second.requested;
+    stats_.outstanding_pages -= it->second.frames;
+    --stats_.outstanding_allocs;
+    phys_.free_contiguous(it->second.first, it->second.frames);
+    large_.erase(it);
+    return;
+  }
+  assert(false && "kfree of pointer not owned by kmalloc");
+}
+
+Errno Kmalloc::read(const BufferHandle& h, std::size_t offset, void* dst,
+                    std::size_t n) {
+  // Deliberately unchecked: reading past the chunk reads the neighbour,
+  // exactly like real kmalloc memory.
+  std::memcpy(dst, static_cast<std::byte*>(h.raw) + offset, n);
+  return Errno::kOk;
+}
+
+Errno Kmalloc::write(const BufferHandle& h, std::size_t offset,
+                     const void* src, std::size_t n) {
+  std::memcpy(static_cast<std::byte*>(h.raw) + offset, src, n);
+  return Errno::kOk;
+}
+
+}  // namespace usk::mm

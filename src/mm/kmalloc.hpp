@@ -1,0 +1,68 @@
+// kmalloc: size-class slab allocator over the physical page pool.
+//
+// This is the simulated kernel's fast-path allocator, the one vanilla
+// Wrapfs uses. Chunks are carved out of whole frames per size class and
+// recycled through per-class free lists; returned memory is directly
+// addressable (kernel linear mapping), so access costs nothing extra --
+// and nothing protects against overflow into the neighbouring chunk.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "mm/allocator.hpp"
+#include "vm/phys.hpp"
+
+namespace usk::mm {
+
+class Kmalloc final : public Allocator {
+ public:
+  explicit Kmalloc(vm::PhysMem& phys) : phys_(phys) {}
+  ~Kmalloc() override;
+
+  Kmalloc(const Kmalloc&) = delete;
+  Kmalloc& operator=(const Kmalloc&) = delete;
+
+  BufferHandle alloc(std::size_t n, const char* file, int line) override;
+  void free(const BufferHandle& h) override;
+
+  Errno read(const BufferHandle& h, std::size_t offset, void* dst,
+             std::size_t n) override;
+  Errno write(const BufferHandle& h, std::size_t offset, const void* src,
+              std::size_t n) override;
+
+  [[nodiscard]] const AllocatorStats& stats() const override { return stats_; }
+  [[nodiscard]] const char* name() const override { return "kmalloc"; }
+
+  /// Size class (rounded-up chunk size) a request of `n` bytes lands in.
+  static std::size_t size_class(std::size_t n);
+
+ private:
+  struct ChunkInfo {
+    std::size_t klass;       ///< chunk size
+    std::size_t requested;   ///< original request
+  };
+
+  // One free list per size class (32,64,...,4096), plus large multi-page
+  // allocations tracked individually.
+  static constexpr std::size_t kMinClass = 32;
+  static constexpr std::size_t kNumClasses = 8;  // 32..4096
+
+  static int class_index(std::size_t klass);
+
+  struct LargeInfo {
+    vm::Pfn first;
+    std::size_t frames;
+    std::size_t requested;
+  };
+
+  vm::PhysMem& phys_;
+  std::vector<void*> free_lists_[kNumClasses];
+  std::unordered_map<void*, ChunkInfo> live_;
+  std::unordered_map<void*, LargeInfo> large_;
+  std::vector<vm::Pfn> slab_frames_;  ///< frames feeding the size classes
+  AllocatorStats stats_;
+};
+
+}  // namespace usk::mm

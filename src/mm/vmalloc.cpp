@@ -1,0 +1,156 @@
+#include "mm/vmalloc.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace usk::mm {
+
+Vmalloc::Vmalloc(vm::AddressSpace& as, vm::VAddr region_base,
+                 std::size_t region_pages, bool use_hash_index)
+    : as_(as),
+      region_base_(vm::page_base(region_base)),
+      region_end_(vm::page_base(region_base) + region_pages * vm::kPageSize),
+      next_va_(vm::page_base(region_base)),
+      use_hash_(use_hash_index) {}
+
+Vmalloc::~Vmalloc() {
+  // Release all still-live areas (module unload semantics).
+  std::vector<vm::VAddr> live;
+  live.reserve(areas_.size());
+  for (const auto& [id, area] : areas_) live.push_back(area.data_va);
+  for (vm::VAddr va : live) (void)free(va);
+}
+
+vm::VAddr Vmalloc::alloc(std::size_t n, const VmallocOptions& opt, const char* file,
+                         int line) {
+  ++stats_.alloc_calls;
+  if (n == 0) n = 1;
+
+  std::size_t data_pages = vm::pages_for(n);
+  std::size_t total_pages =
+      opt.guard_pages_before + data_pages + opt.guard_pages_after;
+  // +1: always leave an unmapped hole page after the area.
+  if (next_va_ + (total_pages + 1) * vm::kPageSize > region_end_) {
+    ++stats_.failed;
+    return 0;
+  }
+
+  vm::VAddr first_page = next_va_;
+  vm::VAddr va = first_page;
+
+  for (std::size_t i = 0; i < opt.guard_pages_before; ++i) {
+    as_.map_guard(va);
+    va += vm::kPageSize;
+  }
+  vm::VAddr data_page_start = va;
+  for (std::size_t i = 0; i < data_pages; ++i) {
+    Result<vm::Pfn> frame = as_.phys().alloc_frame();
+    if (!frame) {
+      // Roll back what we mapped so far.
+      for (vm::VAddr u = first_page; u < va; u += vm::kPageSize) {
+        const vm::Pte* pte = as_.lookup(u);
+        if (pte != nullptr && pte->present && !pte->guard) {
+          as_.phys().free_frame(pte->pfn);
+        }
+        as_.unmap_page(u);
+      }
+      ++stats_.failed;
+      return 0;
+    }
+    as_.map_page(va, frame.value(), /*readable=*/true, /*writable=*/true);
+    va += vm::kPageSize;
+  }
+  for (std::size_t i = 0; i < opt.guard_pages_after; ++i) {
+    as_.map_guard(va);
+    va += vm::kPageSize;
+  }
+  next_va_ = va + vm::kPageSize;  // hole page
+
+  // Data placement inside the data pages.
+  vm::VAddr data_va = data_page_start;
+  if (opt.align_end) {
+    data_va = data_page_start + data_pages * vm::kPageSize - n;
+  }
+
+  Area area;
+  area.id = next_id_++;
+  area.data_va = data_va;
+  area.size = n;
+  area.first_page = first_page;
+  area.total_pages = total_pages;
+  area.data_pages = data_pages;
+  area.guard_before = opt.guard_pages_before;
+  area.guard_after = opt.guard_pages_after;
+  area.file = file;
+  area.line = line;
+
+  by_first_page_[first_page] = area.id;
+  if (use_hash_) {
+    hash_[data_va] = area.id;
+  }
+  order_.push_back(area.id);
+  areas_[area.id] = area;
+
+  ++stats_.outstanding_areas;
+  stats_.outstanding_data_pages += data_pages;
+  stats_.peak_outstanding_data_pages = std::max(
+      stats_.peak_outstanding_data_pages, stats_.outstanding_data_pages);
+  return data_va;
+}
+
+const Vmalloc::Area* Vmalloc::find_area(vm::VAddr data_va) {
+  if (use_hash_) {
+    ++stats_.lookup_steps;
+    auto it = hash_.find(data_va);
+    if (it == hash_.end()) return nullptr;
+    return &areas_.at(it->second);
+  }
+  // Legacy linear scan, newest areas last (Linux walked the vmlist).
+  for (std::uint64_t id : order_) {
+    ++stats_.lookup_steps;
+    auto it = areas_.find(id);
+    if (it != areas_.end() && it->second.data_va == data_va) {
+      return &it->second;
+    }
+  }
+  return nullptr;
+}
+
+const Vmalloc::Area* Vmalloc::find_area_containing(vm::VAddr va) const {
+  auto it = by_first_page_.upper_bound(va);
+  if (it == by_first_page_.begin()) return nullptr;
+  --it;
+  const Area& area = areas_.at(it->second);
+  vm::VAddr end = area.first_page + area.total_pages * vm::kPageSize;
+  if (va >= area.first_page && va < end) return &area;
+  return nullptr;
+}
+
+Errno Vmalloc::free(vm::VAddr data_va) {
+  ++stats_.free_calls;
+  const Area* found = find_area(data_va);
+  if (found == nullptr) return Errno::kEINVAL;
+  Area area = *found;  // copy before erasing
+
+  vm::VAddr va = area.first_page;
+  for (std::size_t i = 0; i < area.total_pages; ++i, va += vm::kPageSize) {
+    const vm::Pte* pte = as_.lookup(va);
+    if (pte != nullptr && pte->present && !pte->guard &&
+        pte->pfn != vm::kInvalidPfn) {
+      as_.phys().free_frame(pte->pfn);
+    }
+    as_.unmap_page(va);
+  }
+
+  by_first_page_.erase(area.first_page);
+  hash_.erase(area.data_va);
+  order_.erase(std::remove(order_.begin(), order_.end(), area.id),
+               order_.end());
+  areas_.erase(area.id);
+
+  --stats_.outstanding_areas;
+  stats_.outstanding_data_pages -= area.data_pages;
+  return Errno::kOk;
+}
+
+}  // namespace usk::mm

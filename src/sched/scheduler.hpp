@@ -1,0 +1,93 @@
+// Cooperative round-robin scheduler with preemption points.
+//
+// Kernel code paths that may run long (the Cosy execution loop, the CosyVM
+// interpreter's back-edges) call Scheduler::preempt_point(). Every
+// `quantum` points the current task is "scheduled out", which is when the
+// watchdog examines its in-kernel running time and kills it if the budget
+// is exceeded -- the paper's exact policy.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "base/klog.hpp"
+#include "sched/task.hpp"
+
+namespace usk::sched {
+
+struct SchedStats {
+  std::uint64_t preempt_points = 0;
+  std::uint64_t schedules = 0;  ///< schedule-out events
+  std::uint64_t watchdog_kills = 0;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(std::uint32_t quantum = 32) : quantum_(quantum) {}
+
+  /// Create a task; the first task spawned becomes current.
+  Task& spawn(std::string name) {
+    tasks_.push_back(std::make_unique<Task>(next_pid_++, std::move(name)));
+    Task& t = *tasks_.back();
+    if (current_ == nullptr) {
+      current_ = &t;
+      t.set_state(TaskState::kRunning);
+    }
+    return t;
+  }
+
+  [[nodiscard]] Task* current() const { return current_; }
+
+  void set_current(Task& t) {
+    if (current_ != nullptr && current_->state() == TaskState::kRunning) {
+      current_->set_state(TaskState::kRunnable);
+    }
+    current_ = &t;
+    t.set_state(TaskState::kRunning);
+  }
+
+  /// Preemption point for the *current* task. Returns false when the task
+  /// was killed by the watchdog and must abort its kernel work.
+  bool preempt_point() {
+    ++stats_.preempt_points;
+    Task* t = current_;
+    if (t == nullptr) return true;
+    ++t->preemptions;
+    if (++since_schedule_ >= quantum_) {
+      since_schedule_ = 0;
+      return schedule_out(*t);
+    }
+    return t->alive();
+  }
+
+  /// Force a schedule-out (e.g., the task blocked). Runs the watchdog.
+  bool schedule_out(Task& t) {
+    ++stats_.schedules;
+    if (t.in_kernel() && t.over_kernel_budget()) {
+      ++stats_.watchdog_kills;
+      t.set_state(TaskState::kKilled);
+      base::klogf(base::LogLevel::kCrit,
+                  "watchdog: task %u (%s) exceeded kernel budget "
+                  "(%llu > %llu units); killed",
+                  t.pid(), t.name().c_str(),
+                  static_cast<unsigned long long>(t.kernel_time_this_visit()),
+                  static_cast<unsigned long long>(t.kernel_budget()));
+      return false;
+    }
+    return t.alive();
+  }
+
+  [[nodiscard]] const SchedStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+
+ private:
+  std::uint32_t quantum_;
+  std::uint32_t since_schedule_ = 0;
+  Pid next_pid_ = 1;
+  std::vector<std::unique_ptr<Task>> tasks_;
+  Task* current_ = nullptr;
+  SchedStats stats_;
+};
+
+}  // namespace usk::sched

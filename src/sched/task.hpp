@@ -1,0 +1,86 @@
+// Tasks and kernel-time accounting.
+//
+// Cosy's infinite-loop defence (§2.3): "we use a preemptive kernel that
+// checks the running time of a Cosy process inside the kernel every time
+// it is scheduled out. If this time has exceeded the maximum allowed
+// kernel time then the process is terminated." Kernel time here is
+// measured in deterministic work units charged by the boundary, the
+// filesystems, and the CosyVM interpreter.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace usk::sched {
+
+using Pid = std::uint32_t;
+
+enum class TaskState {
+  kRunnable,
+  kRunning,
+  kExited,
+  kKilled,  ///< terminated by the safety watchdog
+};
+
+struct TaskTimes {
+  std::uint64_t user = 0;    ///< work units spent in user mode
+  std::uint64_t kernel = 0;  ///< work units spent in kernel mode
+};
+
+class Task {
+ public:
+  Task(Pid pid, std::string name) : pid_(pid), name_(std::move(name)) {}
+
+  [[nodiscard]] Pid pid() const { return pid_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] TaskState state() const { return state_; }
+  void set_state(TaskState s) { state_ = s; }
+  [[nodiscard]] bool alive() const {
+    return state_ == TaskState::kRunnable || state_ == TaskState::kRunning;
+  }
+
+  // --- kernel-mode bookkeeping -------------------------------------------
+  void enter_kernel() {
+    if (in_kernel_depth_++ == 0) kernel_visit_start_ = times_.kernel;
+  }
+  void exit_kernel() {
+    if (in_kernel_depth_ > 0) --in_kernel_depth_;
+  }
+  [[nodiscard]] bool in_kernel() const { return in_kernel_depth_ > 0; }
+
+  void charge_kernel(std::uint64_t units) { times_.kernel += units; }
+  void charge_user(std::uint64_t units) { times_.user += units; }
+
+  /// Kernel time accumulated during the *current* kernel visit.
+  [[nodiscard]] std::uint64_t kernel_time_this_visit() const {
+    return in_kernel() ? times_.kernel - kernel_visit_start_ : 0;
+  }
+
+  /// Per-visit kernel-time budget (Cosy's "maximum allowed kernel time").
+  void set_kernel_budget(std::uint64_t units) { kernel_budget_ = units; }
+  [[nodiscard]] std::uint64_t kernel_budget() const { return kernel_budget_; }
+  [[nodiscard]] bool over_kernel_budget() const {
+    return kernel_time_this_visit() > kernel_budget_;
+  }
+
+  [[nodiscard]] const TaskTimes& times() const { return times_; }
+
+  // --- counters -------------------------------------------------------------
+  std::uint64_t syscalls = 0;
+  std::uint64_t preemptions = 0;
+  /// Wall-clock nanoseconds spent inside system calls (accumulated by the
+  /// syscall Scope); the "system time" a 2005 /usr/bin/time would report.
+  std::uint64_t kernel_wall_ns = 0;
+
+ private:
+  Pid pid_;
+  std::string name_;
+  TaskState state_ = TaskState::kRunnable;
+  int in_kernel_depth_ = 0;
+  std::uint64_t kernel_visit_start_ = 0;
+  std::uint64_t kernel_budget_ = std::numeric_limits<std::uint64_t>::max();
+  TaskTimes times_;
+};
+
+}  // namespace usk::sched

@@ -1,0 +1,87 @@
+#include "seg/segment.hpp"
+
+#include <cstring>
+
+#include "base/klog.hpp"
+
+namespace usk::seg {
+
+Selector DescriptorTable::install(std::uint64_t size, bool readable,
+                                  bool writable, bool executable,
+                                  std::string name) {
+  Entry e;
+  e.desc = Descriptor{size, readable, writable, executable, true,
+                      std::move(name)};
+  e.bytes.assign(size, 0);
+  entries_.push_back(std::move(e));
+  return static_cast<Selector>(entries_.size());  // selector 0 is null
+}
+
+void DescriptorTable::remove(Selector sel) {
+  if (sel == kNullSelector || sel > entries_.size()) return;
+  Entry& e = entries_[sel - 1];
+  e.desc.present = false;
+  e.bytes.clear();
+  e.bytes.shrink_to_fit();
+}
+
+Errno DescriptorTable::check(Selector sel, std::uint64_t offset,
+                             std::size_t len, SegAccess access) {
+  ++stats_.checks;
+  if (sel == kNullSelector || sel > entries_.size()) {
+    ++stats_.violations;
+    return Errno::kEFAULT;
+  }
+  const Descriptor& d = entries_[sel - 1].desc;
+  if (!d.present) {
+    ++stats_.violations;
+    return Errno::kEFAULT;
+  }
+  bool allowed = (access == SegAccess::kRead && d.readable) ||
+                 (access == SegAccess::kWrite && d.writable) ||
+                 (access == SegAccess::kExecute && d.executable);
+  if (!allowed || offset > d.limit || len > d.limit - offset) {
+    ++stats_.violations;
+    base::klogf(base::LogLevel::kErr,
+                "seg: protection fault in segment '%s' off=%llu len=%zu",
+                d.name.c_str(), static_cast<unsigned long long>(offset), len);
+    return Errno::kEFAULT;
+  }
+  return Errno::kOk;
+}
+
+Errno DescriptorTable::load(Selector sel, std::uint64_t offset, void* dst,
+                            std::size_t n) {
+  Errno e = check(sel, offset, n, SegAccess::kRead);
+  if (e != Errno::kOk) return e;
+  std::memcpy(dst, entries_[sel - 1].bytes.data() + offset, n);
+  return Errno::kOk;
+}
+
+Errno DescriptorTable::store(Selector sel, std::uint64_t offset,
+                             const void* src, std::size_t n) {
+  Errno e = check(sel, offset, n, SegAccess::kWrite);
+  if (e != Errno::kOk) return e;
+  std::memcpy(entries_[sel - 1].bytes.data() + offset, src, n);
+  return Errno::kOk;
+}
+
+Errno DescriptorTable::fetch(Selector sel, std::uint64_t offset, void* dst,
+                             std::size_t n) {
+  Errno e = check(sel, offset, n, SegAccess::kExecute);
+  if (e != Errno::kOk) return e;
+  std::memcpy(dst, entries_[sel - 1].bytes.data() + offset, n);
+  return Errno::kOk;
+}
+
+const Descriptor* DescriptorTable::descriptor(Selector sel) const {
+  if (sel == kNullSelector || sel > entries_.size()) return nullptr;
+  return &entries_[sel - 1].desc;
+}
+
+std::uint8_t* DescriptorTable::raw(Selector sel) {
+  if (sel == kNullSelector || sel > entries_.size()) return nullptr;
+  return entries_[sel - 1].bytes.data();
+}
+
+}  // namespace usk::seg

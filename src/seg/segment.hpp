@@ -1,0 +1,77 @@
+// x86-style segmentation model.
+//
+// Cosy's strongest safety mode places a user function's code and data in
+// isolated segments at kernel privilege: "any reference outside the
+// isolated segment generates a protection fault" (§2.3). We model a
+// descriptor table with base/limit/permission checks applied on every
+// access; a violation raises a protection fault (EFAULT) and is counted.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/errno.hpp"
+
+namespace usk::seg {
+
+using Selector = std::uint16_t;
+inline constexpr Selector kNullSelector = 0;
+
+enum class SegAccess { kRead, kWrite, kExecute };
+
+struct Descriptor {
+  std::uint64_t limit = 0;  ///< segment size in bytes (offsets < limit)
+  bool readable = false;
+  bool writable = false;
+  bool executable = false;
+  bool present = false;
+  std::string name;
+};
+
+struct SegStats {
+  std::uint64_t checks = 0;
+  std::uint64_t violations = 0;
+  std::uint64_t far_calls = 0;  ///< cross-segment control transfers
+};
+
+/// Descriptor table ("GDT") plus the segment backing stores. Each segment
+/// owns its bytes; all access goes through checked load/store.
+class DescriptorTable {
+ public:
+  /// Install a segment of `size` bytes; returns its selector.
+  Selector install(std::uint64_t size, bool readable, bool writable,
+                   bool executable, std::string name);
+
+  void remove(Selector sel);
+
+  /// Pure permission/limit check (the hardware test). kOk or kEFAULT.
+  Errno check(Selector sel, std::uint64_t offset, std::size_t len,
+              SegAccess access);
+
+  /// Checked data access through the segment.
+  Errno load(Selector sel, std::uint64_t offset, void* dst, std::size_t n);
+  Errno store(Selector sel, std::uint64_t offset, const void* src,
+              std::size_t n);
+
+  /// Checked instruction fetch (requires executable).
+  Errno fetch(Selector sel, std::uint64_t offset, void* dst, std::size_t n);
+
+  /// Record a cross-segment control transfer (far call). The *caller*
+  /// charges the cost; this only keeps the count for the ablation bench.
+  void note_far_call() { ++stats_.far_calls; }
+
+  [[nodiscard]] const Descriptor* descriptor(Selector sel) const;
+  [[nodiscard]] std::uint8_t* raw(Selector sel);  ///< for trusted setup only
+  [[nodiscard]] const SegStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    Descriptor desc;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Entry> entries_;  // index = selector - 1
+  SegStats stats_;
+};
+
+}  // namespace usk::seg

@@ -1,0 +1,34 @@
+#include "uk/audit.hpp"
+
+namespace usk::uk {
+
+const char* sys_name(Sys nr) {
+  switch (nr) {
+    case Sys::kOpen: return "open";
+    case Sys::kClose: return "close";
+    case Sys::kRead: return "read";
+    case Sys::kWrite: return "write";
+    case Sys::kLseek: return "lseek";
+    case Sys::kStat: return "stat";
+    case Sys::kFstat: return "fstat";
+    case Sys::kReaddir: return "readdir";
+    case Sys::kUnlink: return "unlink";
+    case Sys::kMkdir: return "mkdir";
+    case Sys::kRmdir: return "rmdir";
+    case Sys::kRename: return "rename";
+    case Sys::kTruncate: return "truncate";
+    case Sys::kGetpid: return "getpid";
+    case Sys::kSync: return "sync";
+    case Sys::kLink: return "link";
+    case Sys::kChmod: return "chmod";
+    case Sys::kReaddirPlus: return "readdirplus";
+    case Sys::kOpenReadClose: return "open_read_close";
+    case Sys::kOpenWriteClose: return "open_write_close";
+    case Sys::kOpenFstat: return "open_fstat";
+    case Sys::kCosy: return "cosy";
+    case Sys::kMaxSys: break;
+  }
+  return "sys?";
+}
+
+}  // namespace usk::uk

@@ -1,0 +1,85 @@
+// System-call audit log (the strace / Linux 2.6 audit analogue).
+//
+// Paper §2.2: "The first step in finding system call patterns was to
+// collect logs of system calls ... using a combination of strace and the
+// system call auditing support in Linux 2.6." Every dispatched syscall is
+// recorded here; the consolidation module mines these records into the
+// weighted syscall graph.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "base/errno.hpp"
+
+namespace usk::uk {
+
+/// System call numbers. Includes both the classic calls and the new
+/// consolidated calls this reproduction adds (§2.2) plus the Cosy entry
+/// point (§2.3).
+enum class Sys : std::uint16_t {
+  kOpen = 1,
+  kClose = 2,
+  kRead = 3,
+  kWrite = 4,
+  kLseek = 5,
+  kStat = 6,
+  kFstat = 7,
+  kReaddir = 8,  // getdents-style
+  kUnlink = 9,
+  kMkdir = 10,
+  kRmdir = 11,
+  kRename = 12,
+  kTruncate = 13,
+  kGetpid = 14,
+  kSync = 15,
+  kLink = 16,
+  kChmod = 17,
+  // Consolidated calls:
+  kReaddirPlus = 32,
+  kOpenReadClose = 33,
+  kOpenWriteClose = 34,
+  kOpenFstat = 35,
+  // Compound execution:
+  kCosy = 48,
+  kMaxSys = 64,
+};
+
+const char* sys_name(Sys nr);
+
+struct AuditRecord {
+  std::uint32_t pid = 0;
+  Sys nr = Sys::kGetpid;
+  SysRet ret = 0;
+  std::uint32_t bytes_in = 0;   ///< copied from user for this call
+  std::uint32_t bytes_out = 0;  ///< copied to user for this call
+};
+
+class Audit {
+ public:
+  void enable() { enabled_ = true; }
+  void disable() { enabled_ = false; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(const AuditRecord& r) {
+    if (enabled_) records_.push_back(r);
+  }
+
+  [[nodiscard]] const std::vector<AuditRecord>& records() const {
+    return records_;
+  }
+  void clear() { records_.clear(); }
+
+  /// Total user<->kernel bytes across all recorded calls.
+  [[nodiscard]] std::uint64_t total_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& r : records_) sum += r.bytes_in + r.bytes_out;
+    return sum;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace usk::uk

@@ -1,0 +1,108 @@
+// The user/kernel boundary: crossing costs and user-memory copies.
+//
+// Everything the paper optimizes lives here. A system call pays:
+//   * a crossing (mode switch + register save + cache/TLB pollution),
+//     modelled as real ALU + cache-touching work so measurements are
+//     genuine CPU time, and
+//   * copy_{from,to}_user for each buffer, a real memcpy plus a per-call
+//     and per-KiB charge approximating access_ok checks and cache traffic.
+//
+// Consolidated system calls (§2.2) win by crossing once instead of N
+// times; Cosy (§2.3) wins by crossing once per *compound* and sharing
+// buffers to skip copies entirely.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "base/work.hpp"
+#include "sched/task.hpp"
+
+namespace usk::uk {
+
+/// Tunable boundary costs in work units. Defaults approximate a 2005-era
+/// x86 syscall (~1-2 us) relative to the filesystem costs in fs::FsCosts.
+struct CostModel {
+  std::uint64_t crossing_alu = 450;    ///< trap + register save/restore
+  std::uint64_t crossing_cache = 16;   ///< cache lines disturbed per entry
+  std::uint64_t copy_setup = 40;       ///< access_ok & setup per copy call
+  std::uint64_t copy_per_kib = 80;     ///< per-KiB charge on top of memcpy
+};
+
+struct BoundaryStats {
+  std::uint64_t crossings = 0;  ///< user->kernel entries
+  std::uint64_t copies_from_user = 0;
+  std::uint64_t copies_to_user = 0;
+  std::uint64_t bytes_from_user = 0;
+  std::uint64_t bytes_to_user = 0;
+};
+
+class Boundary {
+ public:
+  Boundary(base::WorkEngine& engine, CostModel model = CostModel{})
+      : engine_(engine), model_(model) {}
+
+  /// Enter the kernel on behalf of `task` (one crossing).
+  void enter_kernel(sched::Task& task) {
+    ++stats_.crossings;
+    task.enter_kernel();
+    engine_.alu(model_.crossing_alu);
+    engine_.cache_touch(model_.crossing_cache);
+    task.charge_kernel(model_.crossing_alu + model_.crossing_cache);
+  }
+
+  /// Return to user mode (the return half of the same crossing).
+  void exit_kernel(sched::Task& task) {
+    engine_.alu(model_.crossing_alu / 2);
+    task.charge_kernel(model_.crossing_alu / 2);
+    task.exit_kernel();
+  }
+
+  std::size_t copy_from_user(sched::Task& task, void* kdst, const void* usrc,
+                             std::size_t n) {
+    ++stats_.copies_from_user;
+    stats_.bytes_from_user += n;
+    charge_copy(task, n);
+    std::memcpy(kdst, usrc, n);
+    return n;
+  }
+
+  std::size_t copy_to_user(sched::Task& task, void* udst, const void* ksrc,
+                           std::size_t n) {
+    ++stats_.copies_to_user;
+    stats_.bytes_to_user += n;
+    charge_copy(task, n);
+    std::memcpy(udst, ksrc, n);
+    return n;
+  }
+
+  /// Copy a NUL-terminated user string (strncpy_from_user). Returns the
+  /// string length, or -1 if it exceeds `max`.
+  std::int64_t strncpy_from_user(sched::Task& task, char* kdst,
+                                 const char* usrc, std::size_t max) {
+    std::size_t len = strnlen(usrc, max);
+    if (len == max) return -1;
+    copy_from_user(task, kdst, usrc, len + 1);
+    return static_cast<std::int64_t>(len);
+  }
+
+  [[nodiscard]] const BoundaryStats& stats() const { return stats_; }
+  [[nodiscard]] const CostModel& model() const { return model_; }
+  [[nodiscard]] base::WorkEngine& engine() { return engine_; }
+
+  void reset_stats() { stats_ = BoundaryStats{}; }
+
+ private:
+  void charge_copy(sched::Task& task, std::size_t n) {
+    std::uint64_t units =
+        model_.copy_setup + model_.copy_per_kib * ((n + 1023) / 1024);
+    engine_.alu(units);
+    task.charge_kernel(units);
+  }
+
+  base::WorkEngine& engine_;
+  CostModel model_;
+  BoundaryStats stats_;
+};
+
+}  // namespace usk::uk

@@ -1,0 +1,258 @@
+#include "uk/kernel.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace usk::uk {
+
+Kernel::Kernel(fs::FileSystem& rootfs, KernelConfig cfg)
+    : phys_(cfg.phys_frames),
+      kernel_as_(phys_, "kernel"),
+      kmalloc_(phys_),
+      vmalloc_(kernel_as_, cfg.vmalloc_base, cfg.vmalloc_pages),
+      sched_(cfg.sched_quantum),
+      boundary_(engine_, cfg.boundary),
+      vfs_(rootfs, cfg.dcache_capacity) {}
+
+Process& Kernel::spawn(std::string name) {
+  sched::Task& t = sched_.spawn(std::move(name));
+  procs_.push_back(std::make_unique<Process>(t));
+  return *procs_.back();
+}
+
+// --- Scope ------------------------------------------------------------------
+
+Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
+    : k_(k), p_(p), nr_(nr), wall0_(std::chrono::steady_clock::now()) {
+  const BoundaryStats& bs = k_.boundary_.stats();
+  in0_ = bs.bytes_from_user;
+  out0_ = bs.bytes_to_user;
+  k_.boundary_.enter_kernel(p_.task);
+  ++p_.task.syscalls;
+  k_.sched_.set_current(p_.task);
+}
+
+Kernel::Scope::~Scope() {
+  k_.boundary_.exit_kernel(p_.task);
+  p_.task.kernel_wall_ns += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0_)
+          .count());
+  const BoundaryStats& bs = k_.boundary_.stats();
+  AuditRecord r;
+  r.pid = p_.task.pid();
+  r.nr = nr_;
+  r.ret = ret_;
+  r.bytes_in = static_cast<std::uint32_t>(bs.bytes_from_user - in0_);
+  r.bytes_out = static_cast<std::uint32_t>(bs.bytes_to_user - out0_);
+  k_.audit_.record(r);
+}
+
+// --- helpers ----------------------------------------------------------------
+
+std::int64_t Kernel::get_user_path(Process& p, const char* upath,
+                                   char* kpath) {
+  if (upath == nullptr) return sysret_err(Errno::kEFAULT);
+  std::int64_t len = boundary_.strncpy_from_user(p.task, kpath, upath,
+                                                 kMaxPath);
+  if (len < 0) return sysret_err(Errno::kENAMETOOLONG);
+  return len;
+}
+
+// --- classic syscalls ---------------------------------------------------------
+
+SysRet Kernel::sys_open(Process& p, const char* upath, int flags,
+                        std::uint32_t mode) {
+  Scope scope(*this, p, Sys::kOpen);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Result<int> r = vfs_.open(p.fds, std::string_view(kpath,
+                                                    static_cast<std::size_t>(len)),
+                            flags, mode);
+  if (!r) return scope.fail(r.error());
+  return scope.done(r.value());
+}
+
+SysRet Kernel::sys_close(Process& p, int fd) {
+  Scope scope(*this, p, Sys::kClose);
+  Errno e = vfs_.close(p.fds, fd);
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_read(Process& p, int fd, void* ubuf, std::size_t n) {
+  Scope scope(*this, p, Sys::kRead);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  n = std::min(n, kMaxIo);
+  std::vector<std::byte> kbuf(n);
+  Result<std::size_t> r = vfs_.read(p.fds, fd, std::span(kbuf.data(), n));
+  if (!r) return scope.fail(r.error());
+  if (r.value() > 0) {
+    boundary_.copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+  }
+  return scope.done(static_cast<SysRet>(r.value()));
+}
+
+SysRet Kernel::sys_write(Process& p, int fd, const void* ubuf,
+                         std::size_t n) {
+  Scope scope(*this, p, Sys::kWrite);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  n = std::min(n, kMaxIo);
+  std::vector<std::byte> kbuf(n);
+  boundary_.copy_from_user(p.task, kbuf.data(), ubuf, n);
+  Result<std::size_t> r = vfs_.write(p.fds, fd, std::span(kbuf.data(), n));
+  if (!r) return scope.fail(r.error());
+  return scope.done(static_cast<SysRet>(r.value()));
+}
+
+SysRet Kernel::sys_lseek(Process& p, int fd, std::int64_t off, int whence) {
+  Scope scope(*this, p, Sys::kLseek);
+  Result<std::uint64_t> r = vfs_.lseek(p.fds, fd, off, whence);
+  if (!r) return scope.fail(r.error());
+  return scope.done(static_cast<SysRet>(r.value()));
+}
+
+SysRet Kernel::sys_stat(Process& p, const char* upath, fs::StatBuf* ust) {
+  Scope scope(*this, p, Sys::kStat);
+  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  fs::StatBuf st;
+  Errno e = vfs_.stat(std::string_view(kpath, static_cast<std::size_t>(len)),
+                      &st);
+  if (e != Errno::kOk) return scope.fail(e);
+  boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+  return scope.done(0);
+}
+
+SysRet Kernel::sys_fstat(Process& p, int fd, fs::StatBuf* ust) {
+  Scope scope(*this, p, Sys::kFstat);
+  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+  fs::StatBuf st;
+  Errno e = vfs_.fstat(p.fds, fd, &st);
+  if (e != Errno::kOk) return scope.fail(e);
+  boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+  return scope.done(0);
+}
+
+SysRet Kernel::sys_readdir(Process& p, int fd, void* ubuf, std::size_t n) {
+  Scope scope(*this, p, Sys::kReaddir);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  fs::OpenFile* f = p.fds.get(fd);
+  if (f == nullptr) return scope.fail(Errno::kEBADF);
+  n = std::min(n, kMaxIo);
+
+  // Estimate how many entries can fit, fetch a window, pack what fits.
+  std::size_t max_entries = std::max<std::size_t>(1, n / sizeof(DirentHdr));
+  Result<std::vector<fs::DirEntry>> win =
+      vfs_.readdir_window(p.fds, fd, f->pos, max_entries);
+  if (!win) return scope.fail(win.error());
+
+  std::vector<std::byte> kbuf(n);
+  std::size_t off = 0;
+  std::size_t taken = 0;
+  for (const fs::DirEntry& de : win.value()) {
+    std::size_t rec = sizeof(DirentHdr) + de.name.size();
+    if (off + rec > n) break;
+    DirentHdr hdr{de.ino, static_cast<std::uint8_t>(de.type),
+                  static_cast<std::uint8_t>(de.name.size())};
+    std::memcpy(kbuf.data() + off, &hdr, sizeof(hdr));
+    std::memcpy(kbuf.data() + off + sizeof(hdr), de.name.data(),
+                de.name.size());
+    off += rec;
+    ++taken;
+  }
+  f->pos += taken;
+  if (off > 0) boundary_.copy_to_user(p.task, ubuf, kbuf.data(), off);
+  return scope.done(static_cast<SysRet>(off));
+}
+
+SysRet Kernel::sys_unlink(Process& p, const char* upath) {
+  Scope scope(*this, p, Sys::kUnlink);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Errno e =
+      vfs_.unlink(std::string_view(kpath, static_cast<std::size_t>(len)));
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_mkdir(Process& p, const char* upath, std::uint32_t mode) {
+  Scope scope(*this, p, Sys::kMkdir);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Errno e = vfs_.mkdir(std::string_view(kpath, static_cast<std::size_t>(len)),
+                       mode);
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_rmdir(Process& p, const char* upath) {
+  Scope scope(*this, p, Sys::kRmdir);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Errno e = vfs_.rmdir(std::string_view(kpath, static_cast<std::size_t>(len)));
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_rename(Process& p, const char* ufrom, const char* uto) {
+  Scope scope(*this, p, Sys::kRename);
+  char kfrom[kMaxPath];
+  char kto[kMaxPath];
+  std::int64_t fl = get_user_path(p, ufrom, kfrom);
+  if (fl < 0) return scope.done(fl);
+  std::int64_t tl = get_user_path(p, uto, kto);
+  if (tl < 0) return scope.done(tl);
+  Errno e = vfs_.rename(std::string_view(kfrom, static_cast<std::size_t>(fl)),
+                        std::string_view(kto, static_cast<std::size_t>(tl)));
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_truncate(Process& p, const char* upath,
+                            std::uint64_t size) {
+  Scope scope(*this, p, Sys::kTruncate);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Errno e = vfs_.truncate(
+      std::string_view(kpath, static_cast<std::size_t>(len)), size);
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_link(Process& p, const char* ufrom, const char* uto) {
+  Scope scope(*this, p, Sys::kLink);
+  char kfrom[kMaxPath];
+  char kto[kMaxPath];
+  std::int64_t fl = get_user_path(p, ufrom, kfrom);
+  if (fl < 0) return scope.done(fl);
+  std::int64_t tl = get_user_path(p, uto, kto);
+  if (tl < 0) return scope.done(tl);
+  Errno e = vfs_.link(std::string_view(kfrom, static_cast<std::size_t>(fl)),
+                      std::string_view(kto, static_cast<std::size_t>(tl)));
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_chmod(Process& p, const char* upath, std::uint32_t mode) {
+  Scope scope(*this, p, Sys::kChmod);
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, upath, kpath);
+  if (len < 0) return scope.done(len);
+  Errno e = vfs_.chmod(std::string_view(kpath, static_cast<std::size_t>(len)),
+                       mode);
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+SysRet Kernel::sys_getpid(Process& p) {
+  Scope scope(*this, p, Sys::kGetpid);
+  return scope.done(static_cast<SysRet>(p.task.pid()));
+}
+
+SysRet Kernel::sys_sync(Process& p) {
+  Scope scope(*this, p, Sys::kSync);
+  Errno e = vfs_.filesystem().sync();
+  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+}
+
+}  // namespace usk::uk

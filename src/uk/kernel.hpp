@@ -1,0 +1,159 @@
+// The simulated kernel: boundary + scheduler + memory + VFS + syscalls.
+//
+// A Kernel is assembled around a caller-provided root FileSystem (so
+// benchmarks can stack WrapFs/JournalFs/MemFs as the paper's experiments
+// require). Classic system calls are implemented here; the consolidated
+// calls (§2.2) live in src/consolidation and the compound executor (§2.3)
+// in src/cosy, both built on the same Scope discipline so every call pays
+// exactly one boundary crossing and its copies are accounted.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "base/work.hpp"
+#include "fs/memfs.hpp"
+#include "fs/vfs.hpp"
+#include "mm/kmalloc.hpp"
+#include "mm/vmalloc.hpp"
+#include "sched/scheduler.hpp"
+#include "uk/audit.hpp"
+#include "uk/boundary.hpp"
+#include "vm/address_space.hpp"
+#include "vm/phys.hpp"
+
+namespace usk::uk {
+
+struct KernelConfig {
+  std::size_t phys_frames = 1 << 16;  ///< 256 MiB of simulated RAM
+  CostModel boundary;
+  std::size_t dcache_capacity = 8192;
+  std::uint32_t sched_quantum = 32;
+  /// Base of the vmalloc virtual area and its size in pages.
+  vm::VAddr vmalloc_base = 0xFFFF800000000000ull;
+  std::size_t vmalloc_pages = 1 << 15;
+};
+
+/// A user process: one task plus its file-descriptor table.
+struct Process {
+  explicit Process(sched::Task& t) : task(t) {}
+  sched::Task& task;
+  fs::FdTable fds;
+};
+
+/// Packed wire format for sys_readdir (getdents): header + name bytes.
+struct DirentHdr {
+  std::uint64_t ino;
+  std::uint8_t type;
+  std::uint8_t namelen;
+} __attribute__((packed));
+
+/// Wire format for sys_readdirplus: stat + header + name bytes.
+struct DirentPlusHdr {
+  fs::StatBuf st;
+  std::uint8_t namelen;
+};
+
+class Kernel {
+ public:
+  explicit Kernel(fs::FileSystem& rootfs, KernelConfig cfg = KernelConfig{});
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Create a process (and its scheduler task).
+  Process& spawn(std::string name);
+
+  // --- subsystem access ----------------------------------------------------
+  [[nodiscard]] fs::Vfs& vfs() { return vfs_; }
+  [[nodiscard]] Boundary& boundary() { return boundary_; }
+  [[nodiscard]] Audit& audit() { return audit_; }
+  [[nodiscard]] base::WorkEngine& engine() { return engine_; }
+  [[nodiscard]] sched::Scheduler& scheduler() { return sched_; }
+  [[nodiscard]] vm::PhysMem& phys() { return phys_; }
+  [[nodiscard]] vm::AddressSpace& kernel_as() { return kernel_as_; }
+  [[nodiscard]] mm::Kmalloc& kmalloc() { return kmalloc_; }
+  [[nodiscard]] mm::Vmalloc& vmalloc() { return vmalloc_; }
+
+  /// Hook suitable for fs::MemFs::set_cost_hook: executes the units on the
+  /// kernel work engine and charges them to the current task's kernel time.
+  [[nodiscard]] std::function<void(std::uint64_t)> charge_hook() {
+    return [this](std::uint64_t units) {
+      engine_.alu(units);
+      if (sched::Task* t = sched_.current()) t->charge_kernel(units);
+    };
+  }
+
+  /// RAII syscall prologue/epilogue: one crossing, audit record with the
+  /// copy-byte deltas. Shared with the consolidation and Cosy modules.
+  class Scope {
+   public:
+    Scope(Kernel& k, Process& p, Sys nr);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+    /// Record the result; returns it for `return scope.done(x);` chains.
+    SysRet done(SysRet ret) {
+      ret_ = ret;
+      return ret;
+    }
+    SysRet fail(Errno e) { return done(sysret_err(e)); }
+
+    [[nodiscard]] Kernel& kernel() { return k_; }
+    [[nodiscard]] Process& process() { return p_; }
+
+   private:
+    Kernel& k_;
+    Process& p_;
+    Sys nr_;
+    SysRet ret_ = 0;
+    std::uint64_t in0_, out0_;
+    std::chrono::steady_clock::time_point wall0_;
+  };
+
+  // --- classic system calls ---------------------------------------------------
+  SysRet sys_open(Process& p, const char* upath, int flags,
+                  std::uint32_t mode);
+  SysRet sys_close(Process& p, int fd);
+  SysRet sys_read(Process& p, int fd, void* ubuf, std::size_t n);
+  SysRet sys_write(Process& p, int fd, const void* ubuf, std::size_t n);
+  SysRet sys_lseek(Process& p, int fd, std::int64_t off, int whence);
+  SysRet sys_stat(Process& p, const char* upath, fs::StatBuf* ust);
+  SysRet sys_fstat(Process& p, int fd, fs::StatBuf* ust);
+  /// getdents-style: fills `ubuf` with packed DirentHdr+name records;
+  /// returns bytes written, 0 at end of directory.
+  SysRet sys_readdir(Process& p, int fd, void* ubuf, std::size_t n);
+  SysRet sys_unlink(Process& p, const char* upath);
+  SysRet sys_mkdir(Process& p, const char* upath, std::uint32_t mode);
+  SysRet sys_rmdir(Process& p, const char* upath);
+  SysRet sys_rename(Process& p, const char* ufrom, const char* uto);
+  SysRet sys_truncate(Process& p, const char* upath, std::uint64_t size);
+  SysRet sys_getpid(Process& p);
+  SysRet sys_sync(Process& p);
+  SysRet sys_link(Process& p, const char* ufrom, const char* uto);
+  SysRet sys_chmod(Process& p, const char* upath, std::uint32_t mode);
+
+  static constexpr std::size_t kMaxPath = 4096;
+  static constexpr std::size_t kMaxIo = 1 << 20;
+
+ private:
+  /// Copy a user path into `kpath`; returns length or negative errno.
+  std::int64_t get_user_path(Process& p, const char* upath, char* kpath);
+
+  base::WorkEngine engine_;
+  vm::PhysMem phys_;
+  vm::AddressSpace kernel_as_;
+  mm::Kmalloc kmalloc_;
+  mm::Vmalloc vmalloc_;
+  sched::Scheduler sched_;
+  Boundary boundary_;
+  Audit audit_;
+  fs::Vfs vfs_;
+  std::vector<std::unique_ptr<Process>> procs_;
+};
+
+}  // namespace usk::uk

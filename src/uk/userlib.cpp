@@ -1,0 +1,66 @@
+#include "uk/userlib.hpp"
+
+#include <cstring>
+
+namespace usk::uk {
+
+std::size_t decode_dirents(std::span<const std::byte> buf,
+                           std::vector<UserDirent>* out) {
+  std::size_t off = 0;
+  std::size_t count = 0;
+  while (off + sizeof(DirentHdr) <= buf.size()) {
+    DirentHdr hdr;
+    std::memcpy(&hdr, buf.data() + off, sizeof(hdr));
+    if (off + sizeof(hdr) + hdr.namelen > buf.size()) break;
+    UserDirent de;
+    de.ino = hdr.ino;
+    de.type = static_cast<fs::FileType>(hdr.type);
+    de.name.assign(reinterpret_cast<const char*>(buf.data() + off +
+                                                 sizeof(hdr)),
+                   hdr.namelen);
+    out->push_back(std::move(de));
+    off += sizeof(hdr) + hdr.namelen;
+    ++count;
+  }
+  return count;
+}
+
+std::size_t decode_dirents_plus(
+    std::span<const std::byte> buf,
+    std::vector<std::pair<UserDirent, fs::StatBuf>>* out) {
+  std::size_t off = 0;
+  std::size_t count = 0;
+  while (off + sizeof(DirentPlusHdr) <= buf.size()) {
+    DirentPlusHdr hdr;
+    std::memcpy(&hdr, buf.data() + off, sizeof(hdr));
+    if (off + sizeof(hdr) + hdr.namelen > buf.size()) break;
+    UserDirent de;
+    de.ino = hdr.st.ino;
+    de.type = hdr.st.type;
+    de.name.assign(reinterpret_cast<const char*>(buf.data() + off +
+                                                 sizeof(hdr)),
+                   hdr.namelen);
+    out->emplace_back(std::move(de), hdr.st);
+    off += sizeof(hdr) + hdr.namelen;
+    ++count;
+  }
+  return count;
+}
+
+std::vector<UserDirent> Proc::list_dir(const char* path,
+                                       std::size_t bufsize) {
+  std::vector<UserDirent> entries;
+  int fd = open(path, fs::kORdOnly);
+  if (fd < 0) return entries;
+  std::vector<std::byte> buf(bufsize);
+  for (;;) {
+    SysRet n = readdir(fd, buf.data(), buf.size());
+    if (n <= 0) break;
+    decode_dirents(std::span(buf.data(), static_cast<std::size_t>(n)),
+                   &entries);
+  }
+  close(fd);
+  return entries;
+}
+
+}  // namespace usk::uk

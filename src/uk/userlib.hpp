@@ -1,0 +1,96 @@
+// User-side convenience library ("libc") for simulated user programs.
+//
+// Examples, workloads, and benchmarks act as user processes through Proc:
+// every method is a real system call through the boundary (crossing +
+// copies). Proc also exposes charge_user() so workloads can model the
+// user-mode compute between calls (parsing, formatting, business logic).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uk/kernel.hpp"
+
+namespace usk::uk {
+
+struct UserDirent {
+  std::uint64_t ino;
+  fs::FileType type;
+  std::string name;
+};
+
+/// Decode a packed sys_readdir buffer into user-side entries.
+std::size_t decode_dirents(std::span<const std::byte> buf,
+                           std::vector<UserDirent>* out);
+
+/// Decode a packed readdirplus buffer into (entry, stat) pairs.
+std::size_t decode_dirents_plus(
+    std::span<const std::byte> buf,
+    std::vector<std::pair<UserDirent, fs::StatBuf>>* out);
+
+class Proc {
+ public:
+  Proc(Kernel& k, std::string name) : k_(k), p_(k.spawn(std::move(name))) {}
+
+  // --- POSIX-flavoured wrappers ---------------------------------------------
+  int open(const char* path, int flags, std::uint32_t mode = 0644) {
+    return static_cast<int>(k_.sys_open(p_, path, flags, mode));
+  }
+  SysRet close(int fd) { return k_.sys_close(p_, fd); }
+  SysRet read(int fd, void* buf, std::size_t n) {
+    return k_.sys_read(p_, fd, buf, n);
+  }
+  SysRet write(int fd, const void* buf, std::size_t n) {
+    return k_.sys_write(p_, fd, buf, n);
+  }
+  SysRet lseek(int fd, std::int64_t off, int whence) {
+    return k_.sys_lseek(p_, fd, off, whence);
+  }
+  SysRet stat(const char* path, fs::StatBuf* st) {
+    return k_.sys_stat(p_, path, st);
+  }
+  SysRet fstat(int fd, fs::StatBuf* st) { return k_.sys_fstat(p_, fd, st); }
+  SysRet readdir(int fd, void* buf, std::size_t n) {
+    return k_.sys_readdir(p_, fd, buf, n);
+  }
+  SysRet unlink(const char* path) { return k_.sys_unlink(p_, path); }
+  SysRet mkdir(const char* path, std::uint32_t mode = 0755) {
+    return k_.sys_mkdir(p_, path, mode);
+  }
+  SysRet rmdir(const char* path) { return k_.sys_rmdir(p_, path); }
+  SysRet rename(const char* from, const char* to) {
+    return k_.sys_rename(p_, from, to);
+  }
+  SysRet truncate(const char* path, std::uint64_t size) {
+    return k_.sys_truncate(p_, path, size);
+  }
+  SysRet getpid() { return k_.sys_getpid(p_); }
+  SysRet sync() { return k_.sys_sync(p_); }
+  SysRet link(const char* from, const char* to) {
+    return k_.sys_link(p_, from, to);
+  }
+  SysRet chmod(const char* path, std::uint32_t mode) {
+    return k_.sys_chmod(p_, path, mode);
+  }
+
+  /// List a whole directory the classic way (readdir loop).
+  std::vector<UserDirent> list_dir(const char* path,
+                                   std::size_t bufsize = 4096);
+
+  /// Model user-mode computation between system calls.
+  void charge_user(std::uint64_t units) {
+    k_.engine().alu(units);
+    p_.task.charge_user(units);
+  }
+
+  [[nodiscard]] Kernel& kernel() { return k_; }
+  [[nodiscard]] Process& process() { return p_; }
+  [[nodiscard]] sched::Task& task() { return p_.task; }
+
+ private:
+  Kernel& k_;
+  Process& p_;
+};
+
+}  // namespace usk::uk

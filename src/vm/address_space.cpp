@@ -1,0 +1,177 @@
+#include "vm/address_space.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace usk::vm {
+
+AddressSpace::AddressSpace(PhysMem& phys, std::string name)
+    : phys_(phys), name_(std::move(name)) {}
+
+void AddressSpace::map_page(VAddr va, Pfn pfn, bool readable, bool writable) {
+  std::uint64_t vpn = page_number(va);
+  pt_[vpn] = Pte{pfn, /*present=*/true, readable, writable, /*guard=*/false};
+  tlb_invalidate(vpn);
+}
+
+void AddressSpace::map_guard(VAddr va) {
+  std::uint64_t vpn = page_number(va);
+  pt_[vpn] = Pte{kInvalidPfn, /*present=*/true, false, false, /*guard=*/true};
+  tlb_invalidate(vpn);
+}
+
+Errno AddressSpace::promote_guard(VAddr va, bool readable, bool writable) {
+  std::uint64_t vpn = page_number(va);
+  auto it = pt_.find(vpn);
+  if (it == pt_.end() || !it->second.guard) return Errno::kEINVAL;
+  Result<Pfn> frame = phys_.alloc_frame();
+  if (!frame) return frame.error();
+  it->second = Pte{frame.value(), true, readable, writable, /*guard=*/false};
+  tlb_invalidate(vpn);
+  return Errno::kOk;
+}
+
+void AddressSpace::unmap_page(VAddr va) {
+  std::uint64_t vpn = page_number(va);
+  pt_.erase(vpn);
+  tlb_invalidate(vpn);
+}
+
+const Pte* AddressSpace::lookup(VAddr va) const {
+  auto it = pt_.find(page_number(va));
+  return it == pt_.end() ? nullptr : &it->second;
+}
+
+Errno AddressSpace::try_translate(VAddr va, Access access, Pfn* pfn,
+                                  Fault* fault) {
+  std::uint64_t vpn = page_number(va);
+  // TLB first: permission bits are cached, guard pages are never cached.
+  TlbEntry& te = tlb_array_[vpn % kTlbEntries];
+  if (te.valid && te.vpn == vpn) {
+    if (access == Access::kWrite && !te.writable) {
+      *fault = Fault{va, access, FaultKind::kProtection};
+      return Errno::kEFAULT;
+    }
+    if (access == Access::kRead && !te.readable) {
+      *fault = Fault{va, access, FaultKind::kProtection};
+      return Errno::kEFAULT;
+    }
+    ++tlb_.hits;
+    *pfn = te.pfn;
+    return Errno::kOk;
+  }
+  ++tlb_.misses;
+  ++tlb_.walks;
+  if (miss_engine_ != nullptr && miss_units_ > 0) {
+    miss_engine_->alu(miss_units_);
+  }
+  auto it = pt_.find(vpn);
+  if (it == pt_.end() || !it->second.present) {
+    *fault = Fault{va, access, FaultKind::kNotMapped};
+    return Errno::kEFAULT;
+  }
+  const Pte& pte = it->second;
+  if (pte.guard) {
+    *fault = Fault{va, access, FaultKind::kGuard};
+    return Errno::kEFAULT;
+  }
+  if ((access == Access::kWrite && !pte.writable) ||
+      (access == Access::kRead && !pte.readable)) {
+    *fault = Fault{va, access, FaultKind::kProtection};
+    return Errno::kEFAULT;
+  }
+  tlb_insert(vpn, pte);
+  *pfn = pte.pfn;
+  return Errno::kOk;
+}
+
+Errno AddressSpace::translate(VAddr va, Access access, Pfn* pfn) {
+  // Bounded retry: a fault handler may repair the mapping at most a few
+  // times per access (real hardware would livelock-protect similarly).
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    Fault fault;
+    Errno e = try_translate(va, access, pfn, &fault);
+    if (e == Errno::kOk) return Errno::kOk;
+    ++stats_.faults;
+    if (!handler_) {
+      ++stats_.fatal_faults;
+      return Errno::kEFAULT;
+    }
+    if (handler_(fault) == FaultResolution::kFatal) {
+      ++stats_.fatal_faults;
+      return Errno::kEFAULT;
+    }
+    // kRetry: loop and re-translate.
+  }
+  ++stats_.fatal_faults;
+  return Errno::kEFAULT;
+}
+
+Errno AddressSpace::load(VAddr va, void* dst, std::size_t n) {
+  ++stats_.loads;
+  auto* out = static_cast<std::byte*>(dst);
+  while (n > 0) {
+    std::size_t off = page_offset(va);
+    std::size_t chunk = std::min(n, kPageSize - off);
+    Pfn pfn = kInvalidPfn;
+    Errno e = translate(va, Access::kRead, &pfn);
+    if (e != Errno::kOk) return e;
+    std::memcpy(out, phys_.frame_data(pfn) + off, chunk);
+    stats_.bytes_read += chunk;
+    out += chunk;
+    va += chunk;
+    n -= chunk;
+  }
+  return Errno::kOk;
+}
+
+Errno AddressSpace::store(VAddr va, const void* src, std::size_t n) {
+  ++stats_.stores;
+  const auto* in = static_cast<const std::byte*>(src);
+  while (n > 0) {
+    std::size_t off = page_offset(va);
+    std::size_t chunk = std::min(n, kPageSize - off);
+    Pfn pfn = kInvalidPfn;
+    Errno e = translate(va, Access::kWrite, &pfn);
+    if (e != Errno::kOk) return e;
+    std::memcpy(phys_.frame_data(pfn) + off, in, chunk);
+    stats_.bytes_written += chunk;
+    in += chunk;
+    va += chunk;
+    n -= chunk;
+  }
+  return Errno::kOk;
+}
+
+Errno AddressSpace::fill(VAddr va, std::uint8_t value, std::size_t n) {
+  ++stats_.stores;
+  while (n > 0) {
+    std::size_t off = page_offset(va);
+    std::size_t chunk = std::min(n, kPageSize - off);
+    Pfn pfn = kInvalidPfn;
+    Errno e = translate(va, Access::kWrite, &pfn);
+    if (e != Errno::kOk) return e;
+    std::memset(phys_.frame_data(pfn) + off, value, chunk);
+    stats_.bytes_written += chunk;
+    va += chunk;
+    n -= chunk;
+  }
+  return Errno::kOk;
+}
+
+void AddressSpace::tlb_flush() {
+  ++tlb_.flushes;
+  for (auto& e : tlb_array_) e.valid = false;
+}
+
+void AddressSpace::tlb_insert(std::uint64_t vpn, const Pte& pte) {
+  tlb_array_[vpn % kTlbEntries] =
+      TlbEntry{vpn, pte.pfn, pte.readable, pte.writable, true};
+}
+
+void AddressSpace::tlb_invalidate(std::uint64_t vpn) {
+  TlbEntry& te = tlb_array_[vpn % kTlbEntries];
+  if (te.valid && te.vpn == vpn) te.valid = false;
+}
+
+}  // namespace usk::vm

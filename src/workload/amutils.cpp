@@ -1,0 +1,160 @@
+#include "workload/amutils.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace usk::workload {
+
+std::string AmUtilsBuild::src_path(std::size_t i) const {
+  return cfg_.dir + "/src/file" + std::to_string(i) + ".c";
+}
+std::string AmUtilsBuild::hdr_path(std::size_t i) const {
+  return cfg_.dir + "/include/hdr" + std::to_string(i) + ".h";
+}
+std::string AmUtilsBuild::obj_path(std::size_t i) const {
+  return cfg_.dir + "/obj/file" + std::to_string(i) + ".o";
+}
+
+void AmUtilsBuild::populate(uk::Proc& p) {
+  base::Rng rng(cfg_.seed);
+  p.mkdir(cfg_.dir.c_str());
+  p.mkdir((cfg_.dir + "/src").c_str());
+  p.mkdir((cfg_.dir + "/include").c_str());
+  p.mkdir((cfg_.dir + "/obj").c_str());
+
+  std::vector<std::byte> block(1024);
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    block[i] = static_cast<std::byte>('a' + (i % 26));
+  }
+
+  auto write_file = [&](const std::string& path, std::size_t size) {
+    int fd = p.open(path.c_str(), fs::kOWrOnly | fs::kOCreat | fs::kOTrunc);
+    if (fd < 0) return;
+    std::size_t written = 0;
+    while (written < size) {
+      std::size_t chunk = std::min(block.size(), size - written);
+      SysRet n = p.write(fd, block.data(), chunk);
+      if (n <= 0) break;
+      written += static_cast<std::size_t>(n);
+    }
+    p.close(fd);
+  };
+
+  for (std::size_t i = 0; i < cfg_.header_files; ++i) {
+    write_file(hdr_path(i), rng.range(500, 4000));
+  }
+  for (std::size_t i = 0; i < cfg_.source_files; ++i) {
+    write_file(src_path(i), rng.range(cfg_.min_source_bytes,
+                                      cfg_.max_source_bytes));
+  }
+}
+
+AmUtilsReport AmUtilsBuild::build(uk::Proc& p) {
+  AmUtilsReport rep;
+  base::Rng rng(cfg_.seed ^ 0xBEEF);
+  std::vector<std::byte> buf(4096);
+
+  for (std::size_t i = 0; i < cfg_.source_files; ++i) {
+    // make checks the dependency timestamps first.
+    fs::StatBuf st;
+    std::string src = src_path(i);
+    std::string obj = obj_path(i);
+    if (p.stat(src.c_str(), &st) != 0) {
+      ++rep.errors;
+      continue;
+    }
+    ++rep.stats;
+    p.stat(obj.c_str(), &st);  // usually ENOENT on a clean build
+    ++rep.stats;
+
+    // "Preprocess": stat + read the included headers.
+    std::uint64_t source_bytes = 0;
+    for (std::size_t h = 0; h < cfg_.includes_per_source; ++h) {
+      std::string hdr = hdr_path(rng.below(cfg_.header_files));
+      if (p.stat(hdr.c_str(), &st) == 0) {
+        ++rep.stats;
+        int hfd = p.open(hdr.c_str(), fs::kORdOnly);
+        if (hfd >= 0) {
+          SysRet n;
+          while ((n = p.read(hfd, buf.data(), buf.size())) > 0) {
+            rep.bytes_read += static_cast<std::uint64_t>(n);
+            source_bytes += static_cast<std::uint64_t>(n);
+          }
+          p.close(hfd);
+        }
+      }
+    }
+
+    // Read the source itself.
+    int fd = p.open(src.c_str(), fs::kORdOnly);
+    if (fd < 0) {
+      ++rep.errors;
+      continue;
+    }
+    SysRet n;
+    while ((n = p.read(fd, buf.data(), buf.size())) > 0) {
+      rep.bytes_read += static_cast<std::uint64_t>(n);
+      source_bytes += static_cast<std::uint64_t>(n);
+    }
+    p.close(fd);
+
+    // "Compile": CPU-bound user-mode work proportional to input size.
+    p.charge_user(cfg_.compile_units_per_kib * (source_bytes + 1023) / 1024);
+
+    // Emit the object file (~40% of source size).
+    std::size_t obj_bytes = static_cast<std::size_t>(source_bytes * 2 / 5);
+    int ofd = p.open(obj.c_str(), fs::kOWrOnly | fs::kOCreat | fs::kOTrunc);
+    if (ofd < 0) {
+      ++rep.errors;
+      continue;
+    }
+    std::size_t written = 0;
+    while (written < obj_bytes) {
+      std::size_t chunk = std::min(buf.size(), obj_bytes - written);
+      SysRet w = p.write(ofd, buf.data(), chunk);
+      if (w <= 0) break;
+      written += static_cast<std::size_t>(w);
+    }
+    p.close(ofd);
+    rep.bytes_written += written;
+    ++rep.sources_compiled;
+  }
+
+  // "Link": read all objects once, write the binary.
+  int bfd = p.open((cfg_.dir + "/obj/amd").c_str(),
+                   fs::kOWrOnly | fs::kOCreat | fs::kOTrunc);
+  for (std::size_t i = 0; i < cfg_.source_files; ++i) {
+    std::string obj = obj_path(i);
+    int fd = p.open(obj.c_str(), fs::kORdOnly);
+    if (fd < 0) continue;
+    SysRet n;
+    while ((n = p.read(fd, buf.data(), buf.size())) > 0) {
+      rep.bytes_read += static_cast<std::uint64_t>(n);
+      if (bfd >= 0) {
+        p.write(bfd, buf.data(), static_cast<std::size_t>(n));
+        rep.bytes_written += static_cast<std::uint64_t>(n);
+      }
+    }
+    p.close(fd);
+  }
+  if (bfd >= 0) p.close(bfd);
+  p.charge_user(cfg_.compile_units_per_kib * 64);  // link-time work
+  return rep;
+}
+
+void AmUtilsBuild::cleanup(uk::Proc& p) {
+  for (std::size_t i = 0; i < cfg_.source_files; ++i) {
+    p.unlink(src_path(i).c_str());
+    p.unlink(obj_path(i).c_str());
+  }
+  for (std::size_t i = 0; i < cfg_.header_files; ++i) {
+    p.unlink(hdr_path(i).c_str());
+  }
+  p.unlink((cfg_.dir + "/obj/amd").c_str());
+  p.rmdir((cfg_.dir + "/src").c_str());
+  p.rmdir((cfg_.dir + "/include").c_str());
+  p.rmdir((cfg_.dir + "/obj").c_str());
+  p.rmdir(cfg_.dir.c_str());
+}
+
+}  // namespace usk::workload

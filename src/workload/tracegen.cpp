@@ -1,0 +1,206 @@
+#include "workload/tracegen.hpp"
+
+#include <algorithm>
+
+namespace usk::workload {
+
+using uk::Sys;
+
+namespace {
+
+/// One burst template: a fixed head plus an optionally repeated tail call.
+struct Burst {
+  std::vector<Sys> head;
+  Sys repeat = Sys::kGetpid;
+  std::size_t repeat_min = 0;
+  std::size_t repeat_max = 0;
+  int weight = 1;  ///< relative frequency
+};
+
+std::vector<Burst> burst_mix(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kInteractive:
+      return {
+          // File-manager / shell directory sweep: readdir then stat each
+          // file; this is the pattern readdirplus collapses.
+          {{Sys::kOpen, Sys::kReaddir, Sys::kReaddir},
+           Sys::kStat, 20, 160, 8},
+          // Config / dotfile read.
+          {{Sys::kOpen, Sys::kRead, Sys::kRead, Sys::kClose},
+           Sys::kGetpid, 0, 0, 5},
+          // Log append.
+          {{Sys::kOpen, Sys::kWrite, Sys::kClose}, Sys::kGetpid, 0, 0, 3},
+          // Editor save: stat, write, rename over the original.
+          {{Sys::kStat, Sys::kOpen, Sys::kWrite, Sys::kWrite, Sys::kClose,
+            Sys::kRename},
+           Sys::kGetpid, 0, 0, 1},
+          // open-fstat probe (libraries checking file size/type).
+          {{Sys::kOpen, Sys::kFstat, Sys::kRead, Sys::kClose},
+           Sys::kGetpid, 0, 0, 2},
+      };
+    case TraceKind::kWebServer:
+      return {
+          {{Sys::kStat, Sys::kOpen, Sys::kRead, Sys::kRead, Sys::kRead,
+            Sys::kClose},
+           Sys::kGetpid, 0, 0, 10},
+          {{Sys::kOpen, Sys::kFstat, Sys::kRead, Sys::kClose},
+           Sys::kGetpid, 0, 0, 4},
+          {{Sys::kOpen, Sys::kWrite, Sys::kClose},  // access log
+           Sys::kGetpid, 0, 0, 3},
+      };
+    case TraceKind::kMailServer:
+      return {
+          // Queue file: write, fsync-ish, rename into place.
+          {{Sys::kOpen, Sys::kWrite, Sys::kWrite, Sys::kClose, Sys::kRename},
+           Sys::kGetpid, 0, 0, 6},
+          // Delivery: read and unlink.
+          {{Sys::kOpen, Sys::kRead, Sys::kRead, Sys::kClose, Sys::kUnlink},
+           Sys::kGetpid, 0, 0, 5},
+          {{Sys::kReaddir}, Sys::kStat, 4, 30, 2},  // queue scan
+      };
+    case TraceKind::kLs:
+      return {
+          {{Sys::kOpen, Sys::kReaddir, Sys::kReaddir, Sys::kClose},
+           Sys::kStat, 10, 120, 1},
+      };
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Sys> synth_trace(TraceKind kind, std::size_t approx_len,
+                             std::uint64_t seed) {
+  base::Rng rng(seed);
+  std::vector<Burst> mix = burst_mix(kind);
+  int total_weight = 0;
+  for (const Burst& b : mix) total_weight += b.weight;
+
+  std::vector<Sys> out;
+  out.reserve(approx_len + 256);
+  while (out.size() < approx_len) {
+    int pick = static_cast<int>(rng.below(static_cast<std::uint64_t>(total_weight)));
+    const Burst* chosen = &mix.back();
+    for (const Burst& b : mix) {
+      pick -= b.weight;
+      if (pick < 0) {
+        chosen = &b;
+        break;
+      }
+    }
+    out.insert(out.end(), chosen->head.begin(), chosen->head.end());
+    if (chosen->repeat_max > 0) {
+      std::size_t reps = rng.range(chosen->repeat_min, chosen->repeat_max);
+      for (std::size_t i = 0; i < reps; ++i) out.push_back(chosen->repeat);
+      // The sweep closes its directory handle at the end.
+      if (chosen->head.front() == Sys::kOpen) out.push_back(Sys::kClose);
+    }
+  }
+  return out;
+}
+
+// --- executable interactive session ------------------------------------------------
+
+namespace {
+std::string dir_path(const InteractiveConfig& cfg, std::size_t d) {
+  return cfg.root + "/module" + std::to_string(d) + "_sources";
+}
+std::string file_path(const InteractiveConfig& cfg, std::size_t d,
+                      std::size_t f) {
+  return dir_path(cfg, d) + "/source_file_" + std::to_string(f) + ".dat";
+}
+}  // namespace
+
+void populate_tree(uk::Proc& p, const InteractiveConfig& cfg) {
+  base::Rng rng(cfg.seed);
+  // mkdir -p for the (possibly deep) root.
+  std::string prefix;
+  std::size_t i = 1;
+  while (i <= cfg.root.size()) {
+    std::size_t next = cfg.root.find('/', i);
+    if (next == std::string::npos) next = cfg.root.size();
+    prefix = cfg.root.substr(0, next);
+    p.mkdir(prefix.c_str());
+    i = next + 1;
+  }
+  std::vector<std::byte> block(1024, std::byte{0x5c});
+  for (std::size_t d = 0; d < cfg.dirs; ++d) {
+    p.mkdir(dir_path(cfg, d).c_str());
+    for (std::size_t f = 0; f < cfg.files_per_dir; ++f) {
+      std::string path = file_path(cfg, d, f);
+      int fd = p.open(path.c_str(), fs::kOWrOnly | fs::kOCreat);
+      if (fd < 0) continue;
+      std::size_t size = rng.range(100, 4000);
+      std::size_t written = 0;
+      while (written < size) {
+        std::size_t chunk = std::min(block.size(), size - written);
+        SysRet n = p.write(fd, block.data(), chunk);
+        if (n <= 0) break;
+        written += static_cast<std::size_t>(n);
+      }
+      p.close(fd);
+    }
+  }
+}
+
+InteractiveReport run_interactive(uk::Proc& p, const InteractiveConfig& cfg) {
+  InteractiveReport rep;
+  base::Rng rng(cfg.seed ^ 0xDECAF);
+  std::vector<std::byte> buf(4096);
+
+  // Interleave the three activity types the way a desktop does: sweeps
+  // spread across the session with reads/appends between them.
+  std::size_t sweeps_done = 0, reads_done = 0, writes_done = 0;
+  while (sweeps_done < cfg.dir_sweeps || reads_done < cfg.config_reads ||
+         writes_done < cfg.log_appends) {
+    // Directory sweep (file manager refresh / shell tab-completion).
+    if (sweeps_done < cfg.dir_sweeps) {
+      std::size_t d = rng.below(cfg.dirs);
+      std::string dp = dir_path(cfg, d);
+      int fd = p.open(dp.c_str(), fs::kORdOnly);
+      if (fd >= 0) {
+        std::vector<uk::UserDirent> entries;
+        SysRet n;
+        while ((n = p.readdir(fd, buf.data(), buf.size())) > 0) {
+          uk::decode_dirents(
+              std::span(buf.data(), static_cast<std::size_t>(n)), &entries);
+        }
+        p.close(fd);
+        fs::StatBuf st;
+        for (const auto& e : entries) {
+          std::string fp = dp + "/" + e.name;
+          if (p.stat(fp.c_str(), &st) == 0) ++rep.files_statted;
+        }
+      }
+      ++sweeps_done;
+      ++rep.sweeps;
+    }
+    // A few config reads between sweeps.
+    for (int i = 0; i < 8 && reads_done < cfg.config_reads; ++i) {
+      std::string fp = file_path(cfg, rng.below(cfg.dirs),
+                                 rng.below(cfg.files_per_dir));
+      int fd = p.open(fp.c_str(), fs::kORdOnly);
+      if (fd >= 0) {
+        p.read(fd, buf.data(), buf.size());
+        p.close(fd);
+        ++rep.reads;
+      }
+      ++reads_done;
+    }
+    // A few log appends.
+    for (int i = 0; i < 5 && writes_done < cfg.log_appends; ++i) {
+      std::string fp = file_path(cfg, rng.below(cfg.dirs),
+                                 rng.below(cfg.files_per_dir));
+      int fd = p.open(fp.c_str(), fs::kOWrOnly | fs::kOAppend);
+      if (fd >= 0) {
+        p.write(fd, buf.data(), 200);
+        p.close(fd);
+        ++rep.writes;
+      }
+      ++writes_done;
+    }
+  }
+  return rep;
+}
+
+}  // namespace usk::workload

@@ -1,0 +1,183 @@
+// Tests for the paper's §2.4 future-work features implemented here:
+// profiling-driven kernel offload (AdaptiveRegion) and the heuristic
+// trust manager that turns isolation off for well-behaved functions.
+#include <gtest/gtest.h>
+
+#include "cosy/adaptive.hpp"
+#include "cosy/compiler.hpp"
+#include "cosy/exec.hpp"
+#include "uk/userlib.hpp"
+
+namespace usk::cosy {
+namespace {
+
+class AdaptiveTest : public ::testing::Test {
+ protected:
+  AdaptiveTest()
+      : kernel_(fs_), proc_(kernel_, "adaptive"), ext_(kernel_),
+        shared_(1 << 16) {
+    fs_.set_cost_hook(kernel_.charge_hook());
+    int fd = proc_.open("/blob", fs::kOWrOnly | fs::kOCreat);
+    std::vector<char> block(4096, 'b');
+    for (int i = 0; i < 16; ++i) proc_.write(fd, block.data(), block.size());
+    proc_.close(fd);
+  }
+
+  fs::MemFs fs_;
+  uk::Kernel kernel_;
+  uk::Proc proc_;
+  CosyExtension ext_;
+  SharedBuffer shared_;
+};
+
+TEST_F(AdaptiveTest, ProfitableRegionOffloadsToKernel) {
+  // Syscall-heavy region: the compound saves dozens of crossings.
+  CompileResult cr = compile(
+      "int fd = open(\"/blob\", O_RDONLY);"
+      "int n = 1;"
+      "while (n > 0) { n = read(fd, @0, 4096); }"
+      "close(fd);"
+      "return 0;");
+  ASSERT_TRUE(cr.ok) << cr.error;
+
+  AdaptiveRegion region(
+      ext_, shared_, "scan-blob",
+      [](uk::Proc& p) {
+        int fd = p.open("/blob", fs::kORdOnly);
+        char buf[4096];
+        while (p.read(fd, buf, sizeof(buf)) > 0) {
+        }
+        p.close(fd);
+      },
+      cr.compound, /*calibration_runs=*/3);
+
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(region.decision(), AdaptiveRegion::Decision::kProfiling);
+    region.run(proc_);
+  }
+  EXPECT_EQ(region.decision(), AdaptiveRegion::Decision::kCosy);
+  EXPECT_LT(region.profile().cosy_avg(), region.profile().classic_avg());
+  // Post-decision runs use the compound.
+  EXPECT_EQ(region.run(proc_), AdaptiveRegion::Decision::kCosy);
+  EXPECT_TRUE(base::klog().contains("kernel offload"));
+}
+
+TEST_F(AdaptiveTest, UnprofitableRegionStaysInUserSpace) {
+  // One syscall per region invocation: the compound's decode overhead
+  // cannot pay for itself against a single crossing... make it worse by
+  // padding the compound with arithmetic ops.
+  CompoundBuilder b;
+  for (int i = 0; i < 200; ++i) {
+    b.arith(1, ArithOp::kAdd, local(1), imm(1));
+  }
+  b.getpid(0);
+  Compound heavy = b.finish();
+
+  AdaptiveRegion region(
+      ext_, shared_, "just-getpid",
+      [](uk::Proc& p) { p.getpid(); }, heavy, 3);
+
+  for (int i = 0; i < 6; ++i) region.run(proc_);
+  EXPECT_EQ(region.decision(), AdaptiveRegion::Decision::kClassic);
+  EXPECT_EQ(region.run(proc_), AdaptiveRegion::Decision::kClassic);
+}
+
+TEST_F(AdaptiveTest, FailingCompoundFallsBackToClassic) {
+  CompoundBuilder b;
+  b.arith(0, ArithOp::kDiv, imm(1), imm(0));  // always faults
+  Compound bad = b.finish();
+  int classic_runs = 0;
+  AdaptiveRegion region(
+      ext_, shared_, "bad-compound",
+      [&](uk::Proc&) { ++classic_runs; }, bad, 2);
+
+  region.run(proc_);  // classic (profiling)
+  region.run(proc_);  // cosy attempt fails -> locks in classic
+  EXPECT_EQ(region.decision(), AdaptiveRegion::Decision::kClassic);
+  region.run(proc_);
+  EXPECT_EQ(classic_runs, 2);
+}
+
+// --- trust manager -----------------------------------------------------------------
+
+TEST_F(AdaptiveTest, CleanFunctionEarnsTrust) {
+  ext_.set_trust_threshold(5);
+  VmAssembler a;
+  a.mov(0, 1).addi(0, 1).ret();
+  int fid = ext_.install_function(a.take(), 64,
+                                  SafetyMode::kIsolatedSegments, "wellbehaved");
+  CompoundBuilder b;
+  b.call_func(fid, {imm(41)}, 0);
+  Compound c = b.finish();
+
+  VmFunction* fn = ext_.functions().get(fid);
+  ASSERT_NE(fn, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    CosyResult r = ext_.execute(proc_.process(), c, shared_);
+    ASSERT_EQ(r.ret, 0);
+    EXPECT_EQ(fn->mode(), SafetyMode::kIsolatedSegments);
+  }
+  CosyResult r = ext_.execute(proc_.process(), c, shared_);  // 5th clean run
+  ASSERT_EQ(r.ret, 0);
+  EXPECT_EQ(fn->mode(), SafetyMode::kDataSegmentOnly);
+  EXPECT_EQ(ext_.stats().trust_promotions, 1u);
+  EXPECT_TRUE(base::klog().contains("trusted after"));
+  // Still correct after the switch.
+  r = ext_.execute(proc_.process(), c, shared_);
+  EXPECT_EQ(r.locals[0], 42);
+}
+
+TEST_F(AdaptiveTest, ViolationRevokesTrust) {
+  ext_.set_trust_threshold(2);
+  // f(x): if x != 0, store out of bounds; else behave.
+  VmAssembler a;
+  a.loadi(2, 0);
+  std::size_t good = a.here() + 1;
+  a.jz(1, static_cast<std::int64_t>(good + 1));
+  a.st(1, 2, 5000);  // out of the 64-byte segment
+  a.loadi(0, 7);     // (good:) return 7
+  a.ret();
+  int fid = ext_.install_function(a.take(), 64,
+                                  SafetyMode::kIsolatedSegments, "sleeper");
+  VmFunction* fn = ext_.functions().get(fid);
+
+  auto call_with = [&](std::int64_t arg) {
+    CompoundBuilder b;
+    b.call_func(fid, {imm(arg)}, 0);
+    Compound c = b.finish();
+    return ext_.execute(proc_.process(), c, shared_);
+  };
+
+  // Behave twice -> trusted.
+  ASSERT_EQ(call_with(0).ret, 0);
+  ASSERT_EQ(call_with(0).ret, 0);
+  EXPECT_EQ(fn->mode(), SafetyMode::kDataSegmentOnly);
+
+  // Now attack: the data segment still catches the store even in the fast
+  // mode, the compound aborts, and the function is re-isolated.
+  CosyResult r = call_with(1);
+  EXPECT_EQ(sysret_errno(r.ret), Errno::kEFAULT);
+  EXPECT_EQ(fn->mode(), SafetyMode::kIsolatedSegments);
+  EXPECT_EQ(fn->clean_runs, 0u);
+  EXPECT_EQ(ext_.stats().trust_demotions, 1u);
+  EXPECT_TRUE(base::klog().contains("re-isolated"));
+}
+
+TEST_F(AdaptiveTest, TrustDisabledByDefault) {
+  VmAssembler a;
+  a.loadi(0, 1).ret();
+  int fid = ext_.install_function(a.take(), 64,
+                                  SafetyMode::kIsolatedSegments, "iso4ever");
+  CompoundBuilder b;
+  b.call_func(fid, {}, 0);
+  Compound c = b.finish();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_EQ(ext_.execute(proc_.process(), c, shared_).ret, 0);
+  }
+  EXPECT_EQ(ext_.functions().get(fid)->mode(),
+            SafetyMode::kIsolatedSegments);
+  EXPECT_EQ(ext_.stats().trust_promotions, 0u);
+}
+
+}  // namespace
+}  // namespace usk::cosy

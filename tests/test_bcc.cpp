@@ -1,0 +1,314 @@
+// Tests for the KGCC/BCC runtime: object map, bounds checks, OOB peer
+// objects, malloc/free checking, checked_ptr semantics, the bounds cache
+// (CSE analogue), and dynamic deinstrumentation.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "bcc/checked_ptr.hpp"
+#include "bcc/object_map.hpp"
+#include "bcc/runtime.hpp"
+
+namespace usk::bcc {
+namespace {
+
+// --- address maps ----------------------------------------------------------------
+
+template <typename MapT>
+class AddressMapTest : public ::testing::Test {
+ protected:
+  MapT map_;
+};
+
+using MapTypes = ::testing::Types<SplayAddressMap, BalancedAddressMap>;
+TYPED_TEST_SUITE(AddressMapTest, MapTypes);
+
+TYPED_TEST(AddressMapTest, InsertFindErase) {
+  MapEntry e;
+  e.base = 0x1000;
+  e.size = 64;
+  this->map_.insert(e);
+  const MapEntry* found = this->map_.find(0x1000);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->size, 64u);
+  EXPECT_EQ(this->map_.find(0x1001), nullptr);
+  EXPECT_TRUE(this->map_.erase(0x1000));
+  EXPECT_FALSE(this->map_.erase(0x1000));
+}
+
+TYPED_TEST(AddressMapTest, FloorFindsContainingCandidate) {
+  MapEntry a;
+  a.base = 0x1000;
+  a.size = 64;
+  MapEntry b;
+  b.base = 0x2000;
+  b.size = 64;
+  this->map_.insert(a);
+  this->map_.insert(b);
+  const MapEntry* f = this->map_.floor(0x1020);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->base, 0x1000u);
+  f = this->map_.floor(0x2FFF);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->base, 0x2000u);
+  EXPECT_EQ(this->map_.floor(0x500), nullptr);
+}
+
+TEST(SplayMapTest, LocalityBringsHotObjectToRoot) {
+  SplayAddressMap m;
+  for (int i = 0; i < 256; ++i) {
+    MapEntry e;
+    e.base = 0x1000u * static_cast<std::uint64_t>(i + 1);
+    e.size = 32;
+    m.insert(e);
+  }
+  std::uint64_t rot_before = m.splay_stats().rotations;
+  (void)m.floor(0x80000);  // first touch splays
+  std::uint64_t rot_first = m.splay_stats().rotations - rot_before;
+  std::uint64_t rot_repeat = 0;
+  for (int i = 0; i < 10; ++i) {
+    std::uint64_t r0 = m.splay_stats().rotations;
+    (void)m.floor(0x80000);
+    rot_repeat += m.splay_stats().rotations - r0;
+  }
+  // Repeated access to the same key needs no rotations at all.
+  EXPECT_EQ(rot_repeat, 0u);
+  EXPECT_GT(rot_first, 0u);
+}
+
+// --- runtime: malloc/free ------------------------------------------------------------
+
+TEST(RuntimeTest, MallocRegistersObject) {
+  Runtime rt;
+  void* p = rt.bcc_malloc(100, "m.c", 5);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(rt.check_access(p, 100, nullptr));
+  EXPECT_TRUE(rt.check_access(static_cast<char*>(p) + 99, 1, nullptr));
+  rt.bcc_free(p);
+  EXPECT_EQ(rt.errors().size(), 0u);
+}
+
+TEST(RuntimeTest, UseAfterFreeDetected) {
+  Runtime rt;
+  void* p = rt.bcc_malloc(64, "uaf.c", 1);
+  rt.bcc_free(p);
+  EXPECT_FALSE(rt.check_access(p, 1, nullptr));
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kUnknownPointer);
+}
+
+TEST(RuntimeTest, DoubleFreeDetected) {
+  Runtime rt;
+  void* p = rt.bcc_malloc(64, "df.c", 1);
+  rt.bcc_free(p);
+  rt.bcc_free(p);  // must be caught, not crash
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kInvalidFree);
+}
+
+TEST(RuntimeTest, FreeOfInteriorPointerDetected) {
+  Runtime rt;
+  void* p = rt.bcc_malloc(64, "fi.c", 1);
+  rt.bcc_free(static_cast<char*>(p) + 8);
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kInvalidFree);
+  rt.bcc_free(p);  // the real base still frees cleanly
+}
+
+TEST(RuntimeTest, OutOfBoundsAccessDetected) {
+  Runtime rt;
+  void* p = rt.bcc_malloc(64, "oob.c", 9);
+  EXPECT_FALSE(rt.check_access(static_cast<char*>(p) + 60, 8, nullptr));
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kOutOfBounds);
+  EXPECT_NE(rt.errors()[0].where.find("oob.c:9"), std::string::npos);
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, StackObjectRegistration) {
+  Runtime rt;
+  char stack_buf[32];
+  rt.register_object(stack_buf, sizeof(stack_buf), "stk.c", 3);
+  EXPECT_TRUE(rt.check_access(stack_buf + 31, 1, nullptr));
+  EXPECT_FALSE(rt.check_access(stack_buf + 32, 1, nullptr));
+  rt.unregister_object(stack_buf);
+}
+
+// --- OOB peers (the paper's temporary out-of-bounds pointer fix) -----------------
+
+TEST(RuntimeTest, OobArithmeticCreatesPeer) {
+  Runtime rt;
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "peer.c", 1));
+  // ptr + i - j where ptr+i is out of bounds but the sum is valid.
+  char* oob = p + 100;
+  EXPECT_TRUE(rt.check_arith(p, 100, oob));  // legal to FORM
+  EXPECT_EQ(rt.stats().peers_created, 1u);
+  // Arithmetic on the peer returning into bounds is legal.
+  char* back = oob - 90;
+  EXPECT_TRUE(rt.check_arith(oob, -90, back));
+  EXPECT_TRUE(rt.check_access(back, 1, nullptr));
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, PeerDereferenceIsError) {
+  Runtime rt;
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "pd.c", 1));
+  char* oob = p + 100;
+  ASSERT_TRUE(rt.check_arith(p, 100, oob));
+  EXPECT_FALSE(rt.check_access(oob, 1, nullptr));
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kPeerDereference);
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, PeerToPeerArithmetic) {
+  Runtime rt;
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "pp.c", 1));
+  char* oob1 = p + 100;
+  ASSERT_TRUE(rt.check_arith(p, 100, oob1));
+  char* oob2 = oob1 + 50;
+  EXPECT_TRUE(rt.check_arith(oob1, 50, oob2));
+  EXPECT_EQ(rt.stats().peers_created, 2u);
+  // And all the way back into bounds.
+  char* back = oob2 - 140;
+  EXPECT_TRUE(rt.check_arith(oob2, -140, back));
+  EXPECT_TRUE(rt.check_access(back, 1, nullptr));
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, OnePastEndIsFormableButNotDerefable) {
+  Runtime rt;
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "ope.c", 1));
+  char* end = p + 64;
+  EXPECT_TRUE(rt.check_arith(p, 64, end));
+  EXPECT_EQ(rt.stats().peers_created, 0u);  // one-past-end needs no peer
+  EXPECT_FALSE(rt.check_access(end, 1, nullptr));
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, ArithOnUnknownPointerIsError) {
+  Runtime rt;
+  char local[8];  // never registered with the runtime
+  EXPECT_FALSE(rt.check_arith(local, 4, local + 4));
+  ASSERT_GE(rt.errors().size(), 1u);
+  EXPECT_EQ(rt.errors()[0].kind, ErrorKind::kUnknownPointer);
+}
+
+// --- bounds cache and deinstrumentation ---------------------------------------------
+
+TEST(RuntimeTest, BoundsCacheSkipsMapConsults) {
+  RuntimeOptions opt;
+  opt.cache_bounds = true;
+  Runtime rt(opt);
+  char* p = static_cast<char*>(rt.bcc_malloc(4096, "cache.c", 1));
+  CheckSite* site = rt.make_site();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(rt.check_access(p + i, 1, site));
+  }
+  EXPECT_EQ(rt.stats().cache_hits, 999u);  // only the first consults the map
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, CacheDisabledConsultsEveryTime) {
+  RuntimeOptions opt;
+  opt.cache_bounds = false;
+  Runtime rt(opt);
+  char* p = static_cast<char*>(rt.bcc_malloc(4096, "nc.c", 1));
+  CheckSite* site = rt.make_site();
+  std::uint64_t consults0 = rt.stats().map_consults;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rt.check_access(p + i, 1, site));
+  }
+  EXPECT_EQ(rt.stats().map_consults - consults0, 100u);
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, CacheInvalidatedAcrossObjects) {
+  Runtime rt;
+  char* a = static_cast<char*>(rt.bcc_malloc(64, "a.c", 1));
+  char* b = static_cast<char*>(rt.bcc_malloc(64, "b.c", 2));
+  CheckSite* site = rt.make_site();
+  ASSERT_TRUE(rt.check_access(a, 1, site));
+  // Access to a different object misses the cache but still passes.
+  ASSERT_TRUE(rt.check_access(b, 1, site));
+  // The overflow of b must NOT be masked by a's cached bounds.
+  EXPECT_FALSE(rt.check_access(b + 64, 8, site));
+  rt.bcc_free(a);
+  rt.bcc_free(b);
+}
+
+TEST(RuntimeTest, DeinstrumentationDisablesSiteAfterThreshold) {
+  RuntimeOptions opt;
+  opt.deinstrument_after = 10;
+  Runtime rt(opt);
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "di.c", 1));
+  CheckSite* site = rt.make_site();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rt.check_access(p, 1, site));
+  }
+  EXPECT_TRUE(site->disabled);
+  std::uint64_t skipped0 = rt.stats().skipped_disabled;
+  // After deactivation even a bad access sails through unchecked -- the
+  // paper's explicit trade: reclaim performance once confidence is high.
+  EXPECT_TRUE(rt.check_access(p + 1000, 8, site));
+  EXPECT_EQ(rt.stats().skipped_disabled, skipped0 + 1);
+  rt.bcc_free(p);
+}
+
+TEST(RuntimeTest, NoDeinstrumentationWhenThresholdZero) {
+  Runtime rt;  // deinstrument_after = 0
+  char* p = static_cast<char*>(rt.bcc_malloc(64, "nd.c", 1));
+  CheckSite* site = rt.make_site();
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(rt.check_access(p, 1, site));
+  }
+  EXPECT_FALSE(site->disabled);
+  rt.bcc_free(p);
+}
+
+// --- checked_ptr -------------------------------------------------------------------------
+
+TEST(CheckedPtrTest, ArrayAccessAndArithmetic) {
+  Runtime& rt = Runtime::instance();
+  rt.clear_errors();
+  auto p = BccPtrPolicy::alloc_array<std::uint32_t>(16);
+  for (std::size_t i = 0; i < 16; ++i) p[i] = static_cast<std::uint32_t>(i);
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 16; ++i) sum += p[i];
+  EXPECT_EQ(sum, 120u);
+  EXPECT_TRUE(rt.errors().empty());
+
+  auto q = p + 4;
+  EXPECT_EQ(*q, 4u);
+  EXPECT_EQ(q - p, 4);
+  BccPtrPolicy::free_array(p, 16);
+}
+
+TEST(CheckedPtrTest, OutOfBoundsIndexReported) {
+  Runtime& rt = Runtime::instance();
+  rt.clear_errors();
+  auto p = BccPtrPolicy::alloc_array<std::uint8_t>(8);
+  (void)p[7];  // fine
+  EXPECT_TRUE(rt.errors().empty());
+  (void)p[8];  // out of bounds
+  EXPECT_FALSE(rt.errors().empty());
+  BccPtrPolicy::free_array(p, 8);
+  rt.clear_errors();
+}
+
+TEST(CheckedPtrTest, CastBytesStaysWithinObject) {
+  Runtime& rt = Runtime::instance();
+  rt.clear_errors();
+  auto bytes = BccPtrPolicy::alloc_array<std::uint8_t>(64);
+  auto words = BccPtrPolicy::cast_bytes<std::uint32_t>(bytes, 16);
+  words[0] = 0xAABBCCDD;
+  EXPECT_EQ(words[0], 0xAABBCCDDu);
+  EXPECT_TRUE(rt.errors().empty());
+  (void)words[16];  // 16*4 = 64: first byte past the object
+  EXPECT_FALSE(rt.errors().empty());
+  BccPtrPolicy::free_array(bytes, 64);
+  rt.clear_errors();
+}
+
+}  // namespace
+}  // namespace usk::bcc

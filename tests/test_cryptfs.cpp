@@ -1,0 +1,150 @@
+// Tests for CryptFs: transparent encryption, random access, stacking over
+// WrapFs, and Kefence-guarded cipher buffers.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "base/rng.hpp"
+#include "fs/cryptfs.hpp"
+#include "fs/memfs.hpp"
+#include "fs/vfs.hpp"
+#include "fs/wrapfs.hpp"
+#include "kefence/kefence.hpp"
+#include "mm/kmalloc.hpp"
+
+namespace usk::fs {
+namespace {
+
+std::span<const std::byte> bytes(const char* s) {
+  return {reinterpret_cast<const std::byte*>(s), std::strlen(s)};
+}
+
+class CryptFsTest : public ::testing::Test {
+ protected:
+  CryptFsTest() : pm_(1024), km_(pm_), crypt_(lower_, km_, 0xC0FFEE) {}
+
+  vm::PhysMem pm_;
+  mm::Kmalloc km_;
+  MemFs lower_;
+  CryptFs crypt_;
+};
+
+TEST_F(CryptFsTest, RoundTripThroughTheLayer) {
+  auto ino = crypt_.create(crypt_.root(), "secret", FileType::kRegular, 0600);
+  ASSERT_TRUE(ino.ok());
+  const char* msg = "attack at dawn";
+  ASSERT_TRUE(crypt_.write(ino.value(), 0, bytes(msg)).ok());
+  std::byte buf[32] = {};
+  auto r = crypt_.read(ino.value(), 0, std::span(buf, 14));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(std::memcmp(buf, msg, 14), 0);
+}
+
+TEST_F(CryptFsTest, LowerFsHoldsCiphertext) {
+  auto ino = crypt_.create(crypt_.root(), "s", FileType::kRegular, 0600);
+  const char* msg = "plaintext-plaintext-plaintext!!!";
+  ASSERT_TRUE(crypt_.write(ino.value(), 0, bytes(msg)).ok());
+
+  // Read the lower file directly: it must NOT contain the plaintext.
+  std::byte raw[40] = {};
+  auto r = lower_.read(ino.value(), 0, std::span(raw, 32));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(std::memcmp(raw, msg, 32), 0);
+  // But XORing with the keystream recovers it.
+  for (std::size_t i = 0; i < 32; ++i) {
+    raw[i] ^= static_cast<std::byte>(crypt_.keystream(ino.value(), i));
+  }
+  EXPECT_EQ(std::memcmp(raw, msg, 32), 0);
+  EXPECT_GE(crypt_.cstats().bytes_encrypted, 32u);
+}
+
+TEST_F(CryptFsTest, RandomAccessReadsDecryptCorrectly) {
+  auto ino = crypt_.create(crypt_.root(), "rand", FileType::kRegular, 0600);
+  std::vector<std::byte> data(3 * 4096 + 77);
+  base::Rng rng(4);
+  for (auto& b : data) b = static_cast<std::byte>(rng.next());
+  ASSERT_TRUE(crypt_.write(ino.value(), 0, data).ok());
+
+  // Unaligned reads at arbitrary offsets must decrypt independently.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint64_t off = rng.below(data.size() - 1);
+    std::size_t len = 1 + rng.below(std::min<std::uint64_t>(
+                              999, data.size() - off));
+    std::vector<std::byte> out(len);
+    auto r = crypt_.read(ino.value(), off, out);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value(), len);
+    ASSERT_EQ(std::memcmp(out.data(), data.data() + off, len), 0)
+        << "offset " << off << " len " << len;
+  }
+}
+
+TEST_F(CryptFsTest, OverwriteMiddleOfFile) {
+  auto ino = crypt_.create(crypt_.root(), "ow", FileType::kRegular, 0600);
+  std::vector<std::byte> data(1000, std::byte{'a'});
+  ASSERT_TRUE(crypt_.write(ino.value(), 0, data).ok());
+  ASSERT_TRUE(crypt_.write(ino.value(), 500, bytes("XYZ")).ok());
+  std::byte buf[1000];
+  auto r = crypt_.read(ino.value(), 0, std::span(buf, sizeof(buf)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(buf[499], std::byte{'a'});
+  EXPECT_EQ(std::memcmp(buf + 500, "XYZ", 3), 0);
+  EXPECT_EQ(buf[503], std::byte{'a'});
+}
+
+TEST_F(CryptFsTest, DifferentKeysDifferentCiphertext) {
+  CryptFs other(lower_, km_, 0xDEAD);
+  auto ino = crypt_.create(crypt_.root(), "k", FileType::kRegular, 0600);
+  ASSERT_TRUE(crypt_.write(ino.value(), 0, bytes("same-plain")).ok());
+  // Reading through a layer with the wrong key yields garbage.
+  std::byte buf[10];
+  auto r = other.read(ino.value(), 0, std::span(buf, 10));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(std::memcmp(buf, "same-plain", 10), 0);
+}
+
+TEST_F(CryptFsTest, ThreeLayerStackBehindVfs) {
+  // cryptfs -> wrapfs -> memfs, driven through the full VFS.
+  WrapFs wrap(lower_, km_);
+  CryptFs top(wrap, km_, 42);
+  Vfs vfs(top);
+  FdTable fds;
+
+  ASSERT_EQ(vfs.mkdir("/vault", 0700), Errno::kOk);
+  auto fd = vfs.open(fds, "/vault/doc", kOWrOnly | kOCreat, 0600);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs.write(fds, fd.value(), bytes("stacked secret")).ok());
+  vfs.close(fds, fd.value());
+
+  auto rfd = vfs.open(fds, "/vault/doc", kORdOnly, 0);
+  std::byte buf[32];
+  auto r = vfs.read(fds, rfd.value(), std::span(buf, sizeof(buf)));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value(), 14u);
+  EXPECT_EQ(std::memcmp(buf, "stacked secret", 14), 0);
+  vfs.close(fds, rfd.value());
+  EXPECT_GE(wrap.stats().tmp_page_allocs, 1u);  // both layers staged pages
+  EXPECT_GE(top.cstats().tmp_allocs, 1u);
+}
+
+TEST(CryptFsKefenceTest, CipherBuffersUnderGuardPages) {
+  vm::PhysMem pm(4096);
+  vm::AddressSpace as(pm, "crypt-kef");
+  mm::Vmalloc vmalloc(as, 0x1000000, 1 << 14);
+  kefence::Kefence kef(vmalloc);
+  MemFs lower;
+  CryptFs crypt(lower, kef, 7);
+
+  auto ino = crypt.create(crypt.root(), "g", FileType::kRegular, 0600);
+  std::vector<std::byte> data(6000, std::byte{0x5A});
+  ASSERT_TRUE(crypt.write(ino.value(), 0, data).ok());
+  std::vector<std::byte> out(6000);
+  auto r = crypt.read(ino.value(), 0, out);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(kef.kstats().overflows, 0u);
+  EXPECT_EQ(kef.stats().outstanding_allocs, 0u);  // all temps freed
+}
+
+}  // namespace
+}  // namespace usk::fs

@@ -1,0 +1,390 @@
+// Tests for the event-monitoring framework: dispatcher, lock-free ring
+// buffer (including multi-producer stress), chardev/libkernevents, and the
+// online invariant monitors.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "base/sync.hpp"
+#include "evmon/chardev.hpp"
+#include "evmon/dispatcher.hpp"
+#include "evmon/monitors.hpp"
+#include "evmon/ring_buffer.hpp"
+
+namespace usk::evmon {
+namespace {
+
+TEST(RingBufferTest, PushPopFifo) {
+  RingBuffer rb(16);
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    e.type = i;
+    EXPECT_TRUE(rb.push(e));
+  }
+  for (int i = 0; i < 10; ++i) {
+    Event e;
+    ASSERT_TRUE(rb.pop(&e));
+    EXPECT_EQ(e.type, i);
+  }
+  Event e;
+  EXPECT_FALSE(rb.pop(&e));
+}
+
+TEST(RingBufferTest, DropsWhenFullNeverBlocks) {
+  RingBuffer rb(8);
+  Event e;
+  for (int i = 0; i < 20; ++i) {
+    e.type = i;
+    rb.push(e);
+  }
+  EXPECT_EQ(rb.pushed(), 8u);
+  EXPECT_EQ(rb.dropped(), 12u);
+}
+
+TEST(RingBufferTest, PopBulk) {
+  RingBuffer rb(64);
+  for (int i = 0; i < 40; ++i) {
+    Event e;
+    e.type = i;
+    rb.push(e);
+  }
+  Event out[64];
+  std::size_t n = rb.pop_bulk(out, 64);
+  EXPECT_EQ(n, 40u);
+  EXPECT_EQ(out[39].type, 39);
+}
+
+TEST(RingBufferTest, WrapAroundPreservesOrder) {
+  RingBuffer rb(8);
+  int next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    Event e;
+    e.type = next_in;
+    if (rb.push(e)) ++next_in;
+    if (round % 3 == 0) {
+      Event o;
+      if (rb.pop(&o)) {
+        EXPECT_EQ(o.type, next_out);
+        ++next_out;
+      }
+    }
+  }
+  Event o;
+  while (rb.pop(&o)) {
+    EXPECT_EQ(o.type, next_out);
+    ++next_out;
+  }
+  EXPECT_EQ(next_in, next_out);
+}
+
+TEST(RingBufferStress, MultiProducerSingleConsumer) {
+  RingBuffer rb(1 << 12);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> consumed{0};
+
+  std::thread consumer([&] {
+    Event out[256];
+    while (!done.load() || !rb.empty()) {
+      std::size_t n = rb.pop_bulk(out, 256);
+      consumed.fetch_add(n);
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&rb, t] {
+      Event e;
+      e.line = t;
+      for (int i = 0; i < kPerProducer; ++i) {
+        e.type = i;
+        rb.push(e);  // drops allowed under pressure
+      }
+    });
+  }
+  for (auto& th : producers) th.join();
+  done.store(true);
+  consumer.join();
+
+  // Conservation: everything pushed was either consumed or dropped.
+  EXPECT_EQ(rb.pushed(), consumed.load());
+  EXPECT_EQ(rb.pushed() + rb.dropped(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+}
+
+// --- Dispatcher -------------------------------------------------------------------
+
+TEST(DispatcherTest, CallbackInvokedSynchronously) {
+  Dispatcher d;
+  int count = 0;
+  auto id = d.register_callback([&](const Event& e) {
+    ++count;
+    EXPECT_EQ(e.type, 7);
+  });
+  d.log_event(nullptr, 7, "f.c", 1);
+  EXPECT_EQ(count, 1);
+  d.unregister_callback(id);
+  d.log_event(nullptr, 7, "f.c", 2);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(DispatcherTest, MultipleCallbacksAllFire) {
+  Dispatcher d;
+  int a = 0, b = 0;
+  d.register_callback([&](const Event&) { ++a; });
+  d.register_callback([&](const Event&) { ++b; });
+  d.log_event(nullptr, 1, "x", 1);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(d.stats().callback_invocations, 2u);
+}
+
+TEST(DispatcherTest, RingReceivesEvents) {
+  Dispatcher d;
+  RingBuffer rb(64);
+  d.attach_ring(&rb);
+  d.log_event(reinterpret_cast<void*>(0x1234), 42, "src.c", 99);
+  Event e;
+  ASSERT_TRUE(rb.pop(&e));
+  EXPECT_EQ(e.type, 42);
+  EXPECT_EQ(e.line, 99);
+  EXPECT_EQ(e.object, reinterpret_cast<void*>(0x1234));
+  d.attach_ring(nullptr);
+  d.log_event(nullptr, 1, "x", 1);
+  EXPECT_FALSE(rb.pop(&e));
+}
+
+TEST(DispatcherTest, SequenceNumbersIncrease) {
+  Dispatcher d;
+  RingBuffer rb(64);
+  d.attach_ring(&rb);
+  for (int i = 0; i < 5; ++i) d.log_event(nullptr, 1, "x", i);
+  Event prev;
+  ASSERT_TRUE(rb.pop(&prev));
+  Event e;
+  while (rb.pop(&e)) {
+    EXPECT_GT(e.seq, prev.seq);
+    prev = e;
+  }
+}
+
+TEST(DispatcherTest, SyncBridgeForwardsSpinlockEvents) {
+  Dispatcher d;
+  std::vector<std::int32_t> types;
+  d.register_callback([&](const Event& e) { types.push_back(e.type); });
+  d.install_sync_bridge();
+  base::SpinLock lock("dcache_lock");
+  USK_LOCK(lock);
+  USK_UNLOCK(lock);
+  d.remove_sync_bridge();
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0], EventType::kSpinLock);
+  EXPECT_EQ(types[1], EventType::kSpinUnlock);
+}
+
+// --- Chardev / libkernevents ---------------------------------------------------------
+
+TEST(ChardevTest, PollingReadReturnsImmediately) {
+  RingBuffer rb(64);
+  Chardev dev(rb);
+  Event out[8];
+  EXPECT_EQ(dev.read(out, 8, ReadMode::kPolling), 0u);
+  EXPECT_EQ(dev.empty_reads(), 1u);
+  Event e;
+  e.type = 5;
+  rb.push(e);
+  EXPECT_EQ(dev.read(out, 8, ReadMode::kPolling), 1u);
+  EXPECT_EQ(out[0].type, 5);
+}
+
+TEST(ChardevTest, CrossingHookChargedPerRead) {
+  RingBuffer rb(64);
+  Chardev dev(rb);
+  int crossings = 0;
+  dev.set_crossing_hook([&] { ++crossings; });
+  Event out[8];
+  dev.read(out, 8, ReadMode::kPolling);
+  dev.read(out, 8, ReadMode::kPolling);
+  EXPECT_EQ(crossings, 2);
+}
+
+TEST(ChardevTest, BlockingReadWakesOnData) {
+  RingBuffer rb(64);
+  Chardev dev(rb);
+  std::atomic<bool> stop{false};
+  Event out[8];
+  std::thread writer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Event e;
+    e.type = 9;
+    rb.push(e);
+  });
+  std::size_t n = dev.read(out, 8, ReadMode::kBlocking, &stop);
+  writer.join();
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(out[0].type, 9);
+}
+
+TEST(ChardevTest, BlockingReadHonorsStop) {
+  RingBuffer rb(64);
+  Chardev dev(rb);
+  std::atomic<bool> stop{false};
+  Event out[8];
+  std::thread stopper([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    stop.store(true);
+  });
+  std::size_t n = dev.read(out, 8, ReadMode::kBlocking, &stop);
+  stopper.join();
+  EXPECT_EQ(n, 0u);
+}
+
+TEST(KernEventsClientTest, BulkReadsAmortizeDeviceReads) {
+  RingBuffer rb(1024);
+  Chardev dev(rb);
+  for (int i = 0; i < 500; ++i) {
+    Event e;
+    e.type = i;
+    rb.push(e);
+  }
+  KernEventsClient client(dev, /*batch=*/128);
+  Event e;
+  int count = 0;
+  while (client.next(&e, ReadMode::kPolling)) {
+    EXPECT_EQ(e.type, count);
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+  // 500 events in batches of 128: 4 full reads + 1 empty.
+  EXPECT_LE(dev.reads(), 6u);
+}
+
+// --- Monitors ---------------------------------------------------------------------------
+
+TEST(SpinlockMonitorTest, CleanPairingNoAnomalies) {
+  Dispatcher d;
+  SpinlockMonitor mon;
+  mon.attach(d);
+  void* lock = reinterpret_cast<void*>(0x1);
+  d.log_event(lock, EventType::kSpinLock, "a.c", 1);
+  d.log_event(lock, EventType::kSpinUnlock, "a.c", 2);
+  mon.finish();
+  EXPECT_TRUE(mon.anomalies().empty());
+  EXPECT_EQ(mon.lock_events(), 1u);
+}
+
+TEST(SpinlockMonitorTest, DetectsDoubleLock) {
+  Dispatcher d;
+  SpinlockMonitor mon;
+  mon.attach(d);
+  void* lock = reinterpret_cast<void*>(0x1);
+  d.log_event(lock, EventType::kSpinLock, "a.c", 1);
+  d.log_event(lock, EventType::kSpinLock, "a.c", 2);
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("double lock"), std::string::npos);
+}
+
+TEST(SpinlockMonitorTest, DetectsUnlockOfUnlocked) {
+  Dispatcher d;
+  SpinlockMonitor mon;
+  mon.attach(d);
+  d.log_event(reinterpret_cast<void*>(0x2), EventType::kSpinUnlock, "b.c", 9);
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("unlock of unlocked"), std::string::npos);
+}
+
+TEST(SpinlockMonitorTest, DetectsLockHeldAtFinish) {
+  Dispatcher d;
+  SpinlockMonitor mon;
+  mon.attach(d);
+  d.log_event(reinterpret_cast<void*>(0x3), EventType::kSpinLock, "c.c", 5);
+  mon.finish();
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("still held"), std::string::npos);
+  EXPECT_NE(mon.anomalies()[0].find("c.c:5"), std::string::npos);
+}
+
+TEST(RefCountMonitorTest, SymmetricIsClean) {
+  Dispatcher d;
+  RefCountMonitor mon;
+  mon.attach(d);
+  void* obj = reinterpret_cast<void*>(0x10);
+  d.log_event(obj, EventType::kRefInc, "r.c", 1);
+  d.log_event(obj, EventType::kRefInc, "r.c", 2);
+  d.log_event(obj, EventType::kRefDec, "r.c", 3);
+  d.log_event(obj, EventType::kRefDec, "r.c", 4);
+  mon.finish();
+  EXPECT_TRUE(mon.anomalies().empty());
+  EXPECT_EQ(mon.balance(obj), 0);
+}
+
+TEST(RefCountMonitorTest, DetectsLeak) {
+  Dispatcher d;
+  RefCountMonitor mon;
+  mon.attach(d);
+  void* obj = reinterpret_cast<void*>(0x11);
+  d.log_event(obj, EventType::kRefInc, "r.c", 1);
+  mon.finish();
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("leak"), std::string::npos);
+}
+
+TEST(RefCountMonitorTest, DetectsUnderflow) {
+  Dispatcher d;
+  RefCountMonitor mon;
+  mon.attach(d);
+  void* obj = reinterpret_cast<void*>(0x12);
+  d.log_event(obj, EventType::kRefDec, "r.c", 8);
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("below"), std::string::npos);
+}
+
+TEST(SemaphoreMonitorTest, DetectsImbalance) {
+  Dispatcher d;
+  SemaphoreMonitor mon;
+  mon.attach(d);
+  void* sem = reinterpret_cast<void*>(0x20);
+  d.log_event(sem, EventType::kSemDown, "s.c", 1);
+  d.log_event(sem, EventType::kSemDown, "s.c", 2);
+  d.log_event(sem, EventType::kSemUp, "s.c", 3);
+  mon.finish();
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+}
+
+TEST(IrqMonitorTest, BalancedIsClean) {
+  Dispatcher d;
+  IrqMonitor mon;
+  mon.attach(d);
+  d.log_event(nullptr, EventType::kIrqDisable, "i.c", 1);
+  d.log_event(nullptr, EventType::kIrqEnable, "i.c", 2);
+  mon.finish();
+  EXPECT_TRUE(mon.anomalies().empty());
+}
+
+TEST(IrqMonitorTest, DetectsLeftDisabled) {
+  Dispatcher d;
+  IrqMonitor mon;
+  mon.attach(d);
+  d.log_event(nullptr, EventType::kIrqDisable, "i.c", 1);
+  mon.finish();
+  ASSERT_EQ(mon.anomalies().size(), 1u);
+  EXPECT_NE(mon.anomalies()[0].find("left disabled"), std::string::npos);
+}
+
+TEST(MonitorTest, MonitorsIgnoreForeignEventTypes) {
+  Dispatcher d;
+  SpinlockMonitor sl;
+  RefCountMonitor rc;
+  sl.attach(d);
+  rc.attach(d);
+  d.log_event(nullptr, EventType::kUserBase + 5, "u.c", 1);
+  EXPECT_EQ(sl.events_seen(), 0u);
+  EXPECT_EQ(rc.events_seen(), 0u);
+}
+
+}  // namespace
+}  // namespace usk::evmon

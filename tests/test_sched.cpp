@@ -1,0 +1,135 @@
+// Tests for the scheduler: kernel-time accounting, preemption points, and
+// the watchdog that kills over-budget tasks (Cosy's infinite-loop defence).
+#include <gtest/gtest.h>
+
+#include "sched/scheduler.hpp"
+
+namespace usk::sched {
+namespace {
+
+TEST(TaskTest, KernelTimeAccounting) {
+  Task t(1, "t");
+  EXPECT_FALSE(t.in_kernel());
+  t.enter_kernel();
+  EXPECT_TRUE(t.in_kernel());
+  t.charge_kernel(100);
+  EXPECT_EQ(t.kernel_time_this_visit(), 100u);
+  t.exit_kernel();
+  EXPECT_FALSE(t.in_kernel());
+  EXPECT_EQ(t.kernel_time_this_visit(), 0u);
+  EXPECT_EQ(t.times().kernel, 100u);
+}
+
+TEST(TaskTest, NestedKernelEntries) {
+  Task t(1, "t");
+  t.enter_kernel();
+  t.charge_kernel(10);
+  t.enter_kernel();  // nested (e.g. consolidated call invoking vfs)
+  t.charge_kernel(5);
+  t.exit_kernel();
+  EXPECT_TRUE(t.in_kernel());
+  EXPECT_EQ(t.kernel_time_this_visit(), 15u);  // visit spans both
+  t.exit_kernel();
+  EXPECT_FALSE(t.in_kernel());
+}
+
+TEST(TaskTest, BudgetDetection) {
+  Task t(1, "t");
+  t.set_kernel_budget(50);
+  t.enter_kernel();
+  t.charge_kernel(50);
+  EXPECT_FALSE(t.over_kernel_budget());  // == budget is still fine
+  t.charge_kernel(1);
+  EXPECT_TRUE(t.over_kernel_budget());
+}
+
+TEST(TaskTest, BudgetIsPerVisit) {
+  Task t(1, "t");
+  t.set_kernel_budget(100);
+  t.enter_kernel();
+  t.charge_kernel(90);
+  t.exit_kernel();
+  t.enter_kernel();
+  t.charge_kernel(90);
+  EXPECT_FALSE(t.over_kernel_budget());  // fresh visit, fresh budget
+}
+
+TEST(SchedulerTest, SpawnAssignsPidsAndCurrent) {
+  Scheduler s;
+  Task& a = s.spawn("a");
+  Task& b = s.spawn("b");
+  EXPECT_NE(a.pid(), b.pid());
+  EXPECT_EQ(s.current(), &a);
+  EXPECT_EQ(a.state(), TaskState::kRunning);
+  s.set_current(b);
+  EXPECT_EQ(s.current(), &b);
+  EXPECT_EQ(a.state(), TaskState::kRunnable);
+}
+
+TEST(SchedulerTest, PreemptPointCountsAndSchedules) {
+  Scheduler s(/*quantum=*/4);
+  Task& t = s.spawn("t");
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_TRUE(s.preempt_point());
+  }
+  EXPECT_EQ(s.stats().preempt_points, 8u);
+  EXPECT_EQ(s.stats().schedules, 2u);  // every 4 points
+  EXPECT_EQ(t.preemptions, 8u);
+}
+
+TEST(SchedulerTest, WatchdogKillsOverBudgetTask) {
+  Scheduler s(/*quantum=*/2);
+  Task& t = s.spawn("runaway");
+  t.set_kernel_budget(100);
+  t.enter_kernel();
+  t.charge_kernel(500);  // way over
+  // First preempt point inside the quantum survives; the schedule-out
+  // point triggers the kill.
+  bool alive = true;
+  int points = 0;
+  while (alive && points < 10) {
+    alive = s.preempt_point();
+    ++points;
+  }
+  EXPECT_FALSE(alive);
+  EXPECT_EQ(t.state(), TaskState::kKilled);
+  EXPECT_EQ(s.stats().watchdog_kills, 1u);
+  EXPECT_LE(points, 2);
+}
+
+TEST(SchedulerTest, WatchdogLeavesHealthyTaskAlone) {
+  Scheduler s(/*quantum=*/1);  // schedule-out at every point
+  Task& t = s.spawn("healthy");
+  t.set_kernel_budget(1'000'000);
+  t.enter_kernel();
+  t.charge_kernel(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(s.preempt_point());
+  }
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+  EXPECT_EQ(s.stats().watchdog_kills, 0u);
+}
+
+TEST(SchedulerTest, WatchdogIgnoresUserModeTime) {
+  Scheduler s(/*quantum=*/1);
+  Task& t = s.spawn("usermode");
+  t.set_kernel_budget(10);
+  t.charge_user(1'000'000);  // user time is not kernel time
+  EXPECT_TRUE(s.preempt_point());
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+}
+
+TEST(SchedulerTest, KillIsLogged) {
+  base::klog().clear();
+  Scheduler s(/*quantum=*/1);
+  Task& t = s.spawn("victim");
+  t.set_kernel_budget(1);
+  t.enter_kernel();
+  t.charge_kernel(10);
+  EXPECT_FALSE(s.preempt_point());
+  EXPECT_TRUE(base::klog().contains("watchdog"));
+  EXPECT_TRUE(base::klog().contains("victim"));
+}
+
+}  // namespace
+}  // namespace usk::sched

@@ -1,0 +1,107 @@
+// Tests for the x86-style segmentation model: descriptor installation,
+// bounds and permission checks, protection faults.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "base/klog.hpp"
+#include "seg/segment.hpp"
+
+namespace usk::seg {
+namespace {
+
+TEST(SegmentTest, InstallAndDescribe) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(1024, true, true, false, "data");
+  ASSERT_NE(s, kNullSelector);
+  const Descriptor* d = gdt.descriptor(s);
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->limit, 1024u);
+  EXPECT_TRUE(d->present);
+  EXPECT_EQ(d->name, "data");
+}
+
+TEST(SegmentTest, StoreLoadWithinBounds) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(256, true, true, false, "d");
+  std::uint32_t v = 0xABCD1234;
+  ASSERT_EQ(gdt.store(s, 100, &v, sizeof(v)), Errno::kOk);
+  std::uint32_t out = 0;
+  ASSERT_EQ(gdt.load(s, 100, &out, sizeof(out)), Errno::kOk);
+  EXPECT_EQ(out, v);
+}
+
+TEST(SegmentTest, OutOfBoundsFaults) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(256, true, true, false, "d");
+  std::uint8_t b = 1;
+  EXPECT_EQ(gdt.store(s, 256, &b, 1), Errno::kEFAULT);  // one past limit
+  EXPECT_EQ(gdt.store(s, 255, &b, 1), Errno::kOk);      // last byte OK
+  EXPECT_EQ(gdt.store(s, 250, &b, 7), Errno::kEFAULT);  // spans the limit
+  EXPECT_EQ(gdt.stats().violations, 2u);
+}
+
+TEST(SegmentTest, OffsetOverflowDoesNotWrap) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(256, true, true, false, "d");
+  std::uint8_t b = 1;
+  // A huge offset whose offset+len wraps around 2^64 must still fault.
+  EXPECT_EQ(gdt.store(s, ~0ull - 2, &b, 8), Errno::kEFAULT);
+}
+
+TEST(SegmentTest, PermissionChecks) {
+  DescriptorTable gdt;
+  Selector ro = gdt.install(64, true, false, false, "ro");
+  Selector xo = gdt.install(64, false, false, true, "xo");
+  std::uint8_t b = 0;
+  EXPECT_EQ(gdt.load(ro, 0, &b, 1), Errno::kOk);
+  EXPECT_EQ(gdt.store(ro, 0, &b, 1), Errno::kEFAULT);
+  // Execute-only: data reads fault, fetches succeed.
+  EXPECT_EQ(gdt.load(xo, 0, &b, 1), Errno::kEFAULT);
+  EXPECT_EQ(gdt.fetch(xo, 0, &b, 1), Errno::kOk);
+  // Data segment is not executable.
+  EXPECT_EQ(gdt.fetch(ro, 0, &b, 1), Errno::kEFAULT);
+}
+
+TEST(SegmentTest, NullAndBogusSelectorsFault) {
+  DescriptorTable gdt;
+  std::uint8_t b = 0;
+  EXPECT_EQ(gdt.load(kNullSelector, 0, &b, 1), Errno::kEFAULT);
+  EXPECT_EQ(gdt.load(42, 0, &b, 1), Errno::kEFAULT);
+}
+
+TEST(SegmentTest, RemovedSegmentFaults) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(64, true, true, false, "gone");
+  gdt.remove(s);
+  std::uint8_t b = 0;
+  EXPECT_EQ(gdt.load(s, 0, &b, 1), Errno::kEFAULT);
+}
+
+TEST(SegmentTest, ViolationIsLogged) {
+  base::klog().clear();
+  DescriptorTable gdt;
+  Selector s = gdt.install(16, true, true, false, "logged-seg");
+  std::uint8_t b = 0;
+  EXPECT_EQ(gdt.load(s, 100, &b, 1), Errno::kEFAULT);
+  EXPECT_TRUE(base::klog().contains("logged-seg"));
+}
+
+TEST(SegmentTest, FarCallCounter) {
+  DescriptorTable gdt;
+  gdt.note_far_call();
+  gdt.note_far_call();
+  EXPECT_EQ(gdt.stats().far_calls, 2u);
+}
+
+TEST(SegmentTest, SegmentsAreZeroInitialized) {
+  DescriptorTable gdt;
+  Selector s = gdt.install(128, true, true, false, "z");
+  std::uint8_t buf[128];
+  std::memset(buf, 0xFF, sizeof(buf));
+  ASSERT_EQ(gdt.load(s, 0, buf, sizeof(buf)), Errno::kOk);
+  for (std::uint8_t v : buf) EXPECT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace usk::seg

@@ -1,0 +1,112 @@
+// Tests for the user-space buffered I/O layer (BufferedFile).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "uk/stdio.hpp"
+
+namespace usk::uk {
+namespace {
+
+class StdioTest : public ::testing::Test {
+ protected:
+  StdioTest() : kernel_(fs_), proc_(kernel_, "stdio") {
+    fs_.set_cost_hook(kernel_.charge_hook());
+  }
+
+  fs::MemFs fs_;
+  Kernel kernel_;
+  Proc proc_;
+};
+
+TEST_F(StdioTest, BufferedWriteThenRead) {
+  {
+    BufferedFile out(proc_, "/f", fs::kOWrOnly | fs::kOCreat);
+    ASSERT_TRUE(out.ok());
+    EXPECT_EQ(out.write("hello ", 6), 6u);
+    EXPECT_EQ(out.write("buffered world", 14), 14u);
+  }  // close flushes
+  fs::StatBuf st;
+  ASSERT_EQ(proc_.stat("/f", &st), 0);
+  EXPECT_EQ(st.size, 20u);
+
+  BufferedFile in(proc_, "/f", fs::kORdOnly);
+  char buf[32] = {};
+  EXPECT_EQ(in.read(buf, sizeof(buf)), 20u);
+  EXPECT_STREQ(buf, "hello buffered world");
+}
+
+TEST_F(StdioTest, GetcAmortizesSyscalls) {
+  {
+    BufferedFile out(proc_, "/bytes", fs::kOWrOnly | fs::kOCreat);
+    std::vector<char> data(20000);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<char>('A' + i % 26);
+    }
+    out.write(data.data(), data.size());
+  }
+  std::uint64_t calls0 = proc_.task().syscalls;
+  BufferedFile in(proc_, "/bytes", fs::kORdOnly);
+  std::uint64_t sum = 0;
+  int c;
+  std::size_t count = 0;
+  while ((c = in.getc()) >= 0) {
+    sum += static_cast<std::uint64_t>(c);
+    ++count;
+  }
+  in.close();
+  EXPECT_EQ(count, 20000u);
+  EXPECT_GT(sum, 0u);
+  // 20000 byte reads cost ~ 20000/4096 + open/close + final empty read.
+  EXPECT_LE(proc_.task().syscalls - calls0, 10u);
+}
+
+TEST_F(StdioTest, WriteBufferFillsAndFlushes) {
+  std::uint64_t calls0 = proc_.task().syscalls;
+  {
+    BufferedFile out(proc_, "/w", fs::kOWrOnly | fs::kOCreat);
+    char c = 'z';
+    for (int i = 0; i < 10000; ++i) out.putc(c);
+  }
+  // 10000 putc => ceil(10000/4096) write syscalls + open + close.
+  EXPECT_LE(proc_.task().syscalls - calls0, 6u);
+  fs::StatBuf st;
+  proc_.stat("/w", &st);
+  EXPECT_EQ(st.size, 10000u);
+}
+
+TEST_F(StdioTest, SeekKeepsConsumerPosition) {
+  {
+    BufferedFile out(proc_, "/s", fs::kOWrOnly | fs::kOCreat);
+    out.write("0123456789", 10);
+  }
+  BufferedFile in(proc_, "/s", fs::kORdOnly);
+  EXPECT_EQ(in.getc(), '0');
+  EXPECT_EQ(in.getc(), '1');  // buffer holds all 10 bytes already
+  ASSERT_TRUE(in.seek(7));
+  EXPECT_EQ(in.getc(), '7');
+  EXPECT_EQ(in.getc(), '8');
+  ASSERT_TRUE(in.seek(0));
+  EXPECT_EQ(in.getc(), '0');
+}
+
+TEST_F(StdioTest, OpenFailureReported) {
+  BufferedFile in(proc_, "/missing", fs::kORdOnly);
+  EXPECT_FALSE(in.ok());
+  EXPECT_EQ(in.getc(), -1);
+}
+
+TEST_F(StdioTest, ExplicitFlushMakesDataVisible) {
+  BufferedFile out(proc_, "/vis", fs::kOWrOnly | fs::kOCreat);
+  out.write("abc", 3);
+  fs::StatBuf st;
+  proc_.stat("/vis", &st);
+  EXPECT_EQ(st.size, 0u);  // still buffered
+  ASSERT_TRUE(out.flush());
+  proc_.stat("/vis", &st);
+  EXPECT_EQ(st.size, 3u);
+  out.close();
+}
+
+}  // namespace
+}  // namespace usk::uk

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_boundary"
+  "../bench/bench_boundary.pdb"
+  "CMakeFiles/bench_boundary.dir/bench_boundary.cpp.o"
+  "CMakeFiles/bench_boundary.dir/bench_boundary.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_boundary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_consolidated_calls"
+  "../bench/bench_consolidated_calls.pdb"
+  "CMakeFiles/bench_consolidated_calls.dir/bench_consolidated_calls.cpp.o"
+  "CMakeFiles/bench_consolidated_calls.dir/bench_consolidated_calls.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_consolidated_calls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cosy_io"
+  "../bench/bench_cosy_io.pdb"
+  "CMakeFiles/bench_cosy_io.dir/bench_cosy_io.cpp.o"
+  "CMakeFiles/bench_cosy_io.dir/bench_cosy_io.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cosy_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

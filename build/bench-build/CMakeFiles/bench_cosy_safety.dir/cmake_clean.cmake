@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cosy_safety"
+  "../bench/bench_cosy_safety.pdb"
+  "CMakeFiles/bench_cosy_safety.dir/bench_cosy_safety.cpp.o"
+  "CMakeFiles/bench_cosy_safety.dir/bench_cosy_safety.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cosy_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

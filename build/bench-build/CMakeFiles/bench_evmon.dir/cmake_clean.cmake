@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_evmon"
+  "../bench/bench_evmon.pdb"
+  "CMakeFiles/bench_evmon.dir/bench_evmon.cpp.o"
+  "CMakeFiles/bench_evmon.dir/bench_evmon.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

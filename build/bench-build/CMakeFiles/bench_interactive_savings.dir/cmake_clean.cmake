@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_interactive_savings"
+  "../bench/bench_interactive_savings.pdb"
+  "CMakeFiles/bench_interactive_savings.dir/bench_interactive_savings.cpp.o"
+  "CMakeFiles/bench_interactive_savings.dir/bench_interactive_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interactive_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

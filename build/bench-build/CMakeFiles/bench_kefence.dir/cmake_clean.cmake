@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kefence"
+  "../bench/bench_kefence.pdb"
+  "CMakeFiles/bench_kefence.dir/bench_kefence.cpp.o"
+  "CMakeFiles/bench_kefence.dir/bench_kefence.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kefence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

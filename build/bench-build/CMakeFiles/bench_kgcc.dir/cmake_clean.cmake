@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_kgcc"
+  "../bench/bench_kgcc.pdb"
+  "CMakeFiles/bench_kgcc.dir/bench_kgcc.cpp.o"
+  "CMakeFiles/bench_kgcc.dir/bench_kgcc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kgcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_readdirplus"
+  "../bench/bench_readdirplus.pdb"
+  "CMakeFiles/bench_readdirplus.dir/bench_readdirplus.cpp.o"
+  "CMakeFiles/bench_readdirplus.dir/bench_readdirplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_readdirplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

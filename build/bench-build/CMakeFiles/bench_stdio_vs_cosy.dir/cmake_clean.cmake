@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_stdio_vs_cosy"
+  "../bench/bench_stdio_vs_cosy.pdb"
+  "CMakeFiles/bench_stdio_vs_cosy.dir/bench_stdio_vs_cosy.cpp.o"
+  "CMakeFiles/bench_stdio_vs_cosy.dir/bench_stdio_vs_cosy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stdio_vs_cosy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_stdio_vs_cosy.
+# This may be replaced when dependencies are built.

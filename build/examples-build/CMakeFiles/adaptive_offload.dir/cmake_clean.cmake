@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/adaptive_offload"
+  "../examples/adaptive_offload.pdb"
+  "CMakeFiles/adaptive_offload.dir/adaptive_offload.cpp.o"
+  "CMakeFiles/adaptive_offload.dir/adaptive_offload.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

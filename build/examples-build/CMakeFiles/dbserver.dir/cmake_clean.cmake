@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dbserver"
+  "../examples/dbserver.pdb"
+  "CMakeFiles/dbserver.dir/dbserver.cpp.o"
+  "CMakeFiles/dbserver.dir/dbserver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/lsplus"
+  "../examples/lsplus.pdb"
+  "CMakeFiles/lsplus.dir/lsplus.cpp.o"
+  "CMakeFiles/lsplus.dir/lsplus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsplus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/safe_module"
+  "../examples/safe_module.pdb"
+  "CMakeFiles/safe_module.dir/safe_module.cpp.o"
+  "CMakeFiles/safe_module.dir/safe_module.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safe_module.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

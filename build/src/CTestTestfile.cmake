@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("vm")
+subdirs("mm")
+subdirs("blockdev")
+subdirs("seg")
+subdirs("sched")
+subdirs("evmon")
+subdirs("fs")
+subdirs("uk")
+subdirs("workload")
+subdirs("consolidation")
+subdirs("cosy")
+subdirs("kefence")
+subdirs("bcc")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_base.dir/errno.cpp.o"
+  "CMakeFiles/usk_base.dir/errno.cpp.o.d"
+  "CMakeFiles/usk_base.dir/klog.cpp.o"
+  "CMakeFiles/usk_base.dir/klog.cpp.o.d"
+  "libusk_base.a"
+  "libusk_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

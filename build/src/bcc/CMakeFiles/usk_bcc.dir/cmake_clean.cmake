@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_bcc.dir/runtime.cpp.o"
+  "CMakeFiles/usk_bcc.dir/runtime.cpp.o.d"
+  "libusk_bcc.a"
+  "libusk_bcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_bcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_consolidation.dir/graph.cpp.o"
+  "CMakeFiles/usk_consolidation.dir/graph.cpp.o.d"
+  "CMakeFiles/usk_consolidation.dir/newcalls.cpp.o"
+  "CMakeFiles/usk_consolidation.dir/newcalls.cpp.o.d"
+  "libusk_consolidation.a"
+  "libusk_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_cosy.dir/compiler.cpp.o"
+  "CMakeFiles/usk_cosy.dir/compiler.cpp.o.d"
+  "CMakeFiles/usk_cosy.dir/compound.cpp.o"
+  "CMakeFiles/usk_cosy.dir/compound.cpp.o.d"
+  "CMakeFiles/usk_cosy.dir/exec.cpp.o"
+  "CMakeFiles/usk_cosy.dir/exec.cpp.o.d"
+  "CMakeFiles/usk_cosy.dir/vm.cpp.o"
+  "CMakeFiles/usk_cosy.dir/vm.cpp.o.d"
+  "libusk_cosy.a"
+  "libusk_cosy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_cosy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

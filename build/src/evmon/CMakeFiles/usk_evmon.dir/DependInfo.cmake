@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/evmon/chardev.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/chardev.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/chardev.cpp.o.d"
+  "/root/repo/src/evmon/dispatcher.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/dispatcher.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/evmon/eventlog.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/eventlog.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/eventlog.cpp.o.d"
+  "/root/repo/src/evmon/monitors.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/monitors.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/monitors.cpp.o.d"
+  "/root/repo/src/evmon/profiler.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/profiler.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/profiler.cpp.o.d"
+  "/root/repo/src/evmon/rules.cpp" "src/evmon/CMakeFiles/usk_evmon.dir/rules.cpp.o" "gcc" "src/evmon/CMakeFiles/usk_evmon.dir/rules.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/usk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_evmon.dir/chardev.cpp.o"
+  "CMakeFiles/usk_evmon.dir/chardev.cpp.o.d"
+  "CMakeFiles/usk_evmon.dir/dispatcher.cpp.o"
+  "CMakeFiles/usk_evmon.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/usk_evmon.dir/eventlog.cpp.o"
+  "CMakeFiles/usk_evmon.dir/eventlog.cpp.o.d"
+  "CMakeFiles/usk_evmon.dir/monitors.cpp.o"
+  "CMakeFiles/usk_evmon.dir/monitors.cpp.o.d"
+  "CMakeFiles/usk_evmon.dir/profiler.cpp.o"
+  "CMakeFiles/usk_evmon.dir/profiler.cpp.o.d"
+  "CMakeFiles/usk_evmon.dir/rules.cpp.o"
+  "CMakeFiles/usk_evmon.dir/rules.cpp.o.d"
+  "libusk_evmon.a"
+  "libusk_evmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_evmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/cryptfs.cpp" "src/fs/CMakeFiles/usk_fs.dir/cryptfs.cpp.o" "gcc" "src/fs/CMakeFiles/usk_fs.dir/cryptfs.cpp.o.d"
+  "/root/repo/src/fs/dcache.cpp" "src/fs/CMakeFiles/usk_fs.dir/dcache.cpp.o" "gcc" "src/fs/CMakeFiles/usk_fs.dir/dcache.cpp.o.d"
+  "/root/repo/src/fs/memfs.cpp" "src/fs/CMakeFiles/usk_fs.dir/memfs.cpp.o" "gcc" "src/fs/CMakeFiles/usk_fs.dir/memfs.cpp.o.d"
+  "/root/repo/src/fs/vfs.cpp" "src/fs/CMakeFiles/usk_fs.dir/vfs.cpp.o" "gcc" "src/fs/CMakeFiles/usk_fs.dir/vfs.cpp.o.d"
+  "/root/repo/src/fs/wrapfs.cpp" "src/fs/CMakeFiles/usk_fs.dir/wrapfs.cpp.o" "gcc" "src/fs/CMakeFiles/usk_fs.dir/wrapfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/usk_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/usk_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/usk_vm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_fs.dir/cryptfs.cpp.o"
+  "CMakeFiles/usk_fs.dir/cryptfs.cpp.o.d"
+  "CMakeFiles/usk_fs.dir/dcache.cpp.o"
+  "CMakeFiles/usk_fs.dir/dcache.cpp.o.d"
+  "CMakeFiles/usk_fs.dir/memfs.cpp.o"
+  "CMakeFiles/usk_fs.dir/memfs.cpp.o.d"
+  "CMakeFiles/usk_fs.dir/vfs.cpp.o"
+  "CMakeFiles/usk_fs.dir/vfs.cpp.o.d"
+  "CMakeFiles/usk_fs.dir/wrapfs.cpp.o"
+  "CMakeFiles/usk_fs.dir/wrapfs.cpp.o.d"
+  "libusk_fs.a"
+  "libusk_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

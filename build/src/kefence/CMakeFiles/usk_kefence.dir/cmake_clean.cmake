@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_kefence.dir/kefence.cpp.o"
+  "CMakeFiles/usk_kefence.dir/kefence.cpp.o.d"
+  "libusk_kefence.a"
+  "libusk_kefence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_kefence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

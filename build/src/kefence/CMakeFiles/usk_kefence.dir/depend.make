@@ -1,0 +1,2 @@
+# Empty dependencies file for usk_kefence.
+# This may be replaced when dependencies are built.

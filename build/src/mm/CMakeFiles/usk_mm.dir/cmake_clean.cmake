@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_mm.dir/kmalloc.cpp.o"
+  "CMakeFiles/usk_mm.dir/kmalloc.cpp.o.d"
+  "CMakeFiles/usk_mm.dir/vmalloc.cpp.o"
+  "CMakeFiles/usk_mm.dir/vmalloc.cpp.o.d"
+  "libusk_mm.a"
+  "libusk_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_seg.dir/segment.cpp.o"
+  "CMakeFiles/usk_seg.dir/segment.cpp.o.d"
+  "libusk_seg.a"
+  "libusk_seg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_seg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

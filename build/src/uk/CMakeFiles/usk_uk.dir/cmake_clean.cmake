@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_uk.dir/audit.cpp.o"
+  "CMakeFiles/usk_uk.dir/audit.cpp.o.d"
+  "CMakeFiles/usk_uk.dir/kernel.cpp.o"
+  "CMakeFiles/usk_uk.dir/kernel.cpp.o.d"
+  "CMakeFiles/usk_uk.dir/userlib.cpp.o"
+  "CMakeFiles/usk_uk.dir/userlib.cpp.o.d"
+  "libusk_uk.a"
+  "libusk_uk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_uk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_vm.dir/address_space.cpp.o"
+  "CMakeFiles/usk_vm.dir/address_space.cpp.o.d"
+  "CMakeFiles/usk_vm.dir/phys.cpp.o"
+  "CMakeFiles/usk_vm.dir/phys.cpp.o.d"
+  "libusk_vm.a"
+  "libusk_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libusk_vm.a"
+)

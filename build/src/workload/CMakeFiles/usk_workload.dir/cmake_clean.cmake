@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/usk_workload.dir/amutils.cpp.o"
+  "CMakeFiles/usk_workload.dir/amutils.cpp.o.d"
+  "CMakeFiles/usk_workload.dir/postmark.cpp.o"
+  "CMakeFiles/usk_workload.dir/postmark.cpp.o.d"
+  "CMakeFiles/usk_workload.dir/tracegen.cpp.o"
+  "CMakeFiles/usk_workload.dir/tracegen.cpp.o.d"
+  "libusk_workload.a"
+  "libusk_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/usk_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for usk_workload.
+# This may be replaced when dependencies are built.

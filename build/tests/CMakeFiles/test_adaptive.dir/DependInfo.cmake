@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive.cpp" "tests/CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o" "gcc" "tests/CMakeFiles/test_adaptive.dir/test_adaptive.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cosy/CMakeFiles/usk_cosy.dir/DependInfo.cmake"
+  "/root/repo/build/src/uk/CMakeFiles/usk_uk.dir/DependInfo.cmake"
+  "/root/repo/build/src/fs/CMakeFiles/usk_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/mm/CMakeFiles/usk_mm.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/usk_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/seg/CMakeFiles/usk_seg.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/usk_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cosy.dir/test_cosy.cpp.o"
+  "CMakeFiles/test_cosy.dir/test_cosy.cpp.o.d"
+  "test_cosy"
+  "test_cosy.pdb"
+  "test_cosy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cosy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

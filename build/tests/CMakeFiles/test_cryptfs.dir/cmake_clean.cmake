@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cryptfs.dir/test_cryptfs.cpp.o"
+  "CMakeFiles/test_cryptfs.dir/test_cryptfs.cpp.o.d"
+  "test_cryptfs"
+  "test_cryptfs.pdb"
+  "test_cryptfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cryptfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eventlog.dir/test_eventlog.cpp.o"
+  "CMakeFiles/test_eventlog.dir/test_eventlog.cpp.o.d"
+  "test_eventlog"
+  "test_eventlog.pdb"
+  "test_eventlog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eventlog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evmon.dir/test_evmon.cpp.o"
+  "CMakeFiles/test_evmon.dir/test_evmon.cpp.o.d"
+  "test_evmon"
+  "test_evmon.pdb"
+  "test_evmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_differential.dir/test_fs_differential.cpp.o"
+  "CMakeFiles/test_fs_differential.dir/test_fs_differential.cpp.o.d"
+  "test_fs_differential"
+  "test_fs_differential.pdb"
+  "test_fs_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

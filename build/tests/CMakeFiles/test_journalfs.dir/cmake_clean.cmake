@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_journalfs.dir/test_journalfs.cpp.o"
+  "CMakeFiles/test_journalfs.dir/test_journalfs.cpp.o.d"
+  "test_journalfs"
+  "test_journalfs.pdb"
+  "test_journalfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_journalfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_journalfs.
+# This may be replaced when dependencies are built.

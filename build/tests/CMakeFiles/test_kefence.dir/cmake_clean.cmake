@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kefence.dir/test_kefence.cpp.o"
+  "CMakeFiles/test_kefence.dir/test_kefence.cpp.o.d"
+  "test_kefence"
+  "test_kefence.pdb"
+  "test_kefence[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kefence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

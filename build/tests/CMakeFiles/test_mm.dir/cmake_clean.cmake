@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mm.dir/test_mm.cpp.o"
+  "CMakeFiles/test_mm.dir/test_mm.cpp.o.d"
+  "test_mm"
+  "test_mm.pdb"
+  "test_mm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mounts.dir/test_mounts.cpp.o"
+  "CMakeFiles/test_mounts.dir/test_mounts.cpp.o.d"
+  "test_mounts"
+  "test_mounts.pdb"
+  "test_mounts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stdio.dir/test_stdio.cpp.o"
+  "CMakeFiles/test_stdio.dir/test_stdio.cpp.o.d"
+  "test_stdio"
+  "test_stdio.pdb"
+  "test_stdio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stdio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uk.dir/test_uk.cpp.o"
+  "CMakeFiles/test_uk.dir/test_uk.cpp.o.d"
+  "test_uk"
+  "test_uk.pdb"
+  "test_uk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_base[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_mm[1]_include.cmake")
+include("/root/repo/build/tests/test_seg[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_evmon[1]_include.cmake")
+include("/root/repo/build/tests/test_fs[1]_include.cmake")
+include("/root/repo/build/tests/test_journalfs[1]_include.cmake")
+include("/root/repo/build/tests/test_uk[1]_include.cmake")
+include("/root/repo/build/tests/test_consolidation[1]_include.cmake")
+include("/root/repo/build/tests/test_cosy[1]_include.cmake")
+include("/root/repo/build/tests/test_cosy_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_kefence[1]_include.cmake")
+include("/root/repo/build/tests/test_bcc[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_rules[1]_include.cmake")
+include("/root/repo/build/tests/test_adaptive[1]_include.cmake")
+include("/root/repo/build/tests/test_fs_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_params[1]_include.cmake")
+include("/root/repo/build/tests/test_eventlog[1]_include.cmake")
+include("/root/repo/build/tests/test_blockdev[1]_include.cmake")
+include("/root/repo/build/tests/test_cryptfs[1]_include.cmake")
+include("/root/repo/build/tests/test_stdio[1]_include.cmake")
+include("/root/repo/build/tests/test_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_mounts[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[DifferentialTest.RandomOperationStreamAgrees]=]  /root/repo/build/tests/test_fs_differential [==[--gtest_filter=DifferentialTest.RandomOperationStreamAgrees]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[DifferentialTest.RandomOperationStreamAgrees]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_fs_differential_TESTS DifferentialTest.RandomOperationStreamAgrees)

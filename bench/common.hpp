@@ -1,20 +1,27 @@
 // Shared helpers for the reproduction benchmarks: wall-clock timing,
-// paper-style table printing, and improvement math.
+// paper-style table printing, improvement math, and machine-readable
+// result emission.
 //
 // Each bench binary regenerates one of the paper's reported results (see
 // DESIGN.md's experiment index). Binaries print self-contained tables so
 // `for b in build/bench/*; do $b; done` reproduces the whole evaluation.
+// Setting USK_BENCH_JSON=<path> additionally appends one JSON record per
+// reported measurement to that file, for plotting/regression scripts.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
-#include <functional>
+#include <cstdlib>
 #include <string>
 
 namespace usk::bench {
 
-/// Wall-clock seconds for one invocation of `fn`.
-inline double time_once(const std::function<void()>& fn) {
+/// Wall-clock seconds for one invocation of `fn`. Templated (not
+/// std::function) so the timed loop body is inlineable -- a type-erased
+/// callable adds an indirect call per iteration, which is measurable
+/// against our microsecond-scale syscall paths.
+template <class Fn>
+inline double time_once(Fn&& fn) {
   auto t0 = std::chrono::steady_clock::now();
   fn();
   auto t1 = std::chrono::steady_clock::now();
@@ -22,7 +29,8 @@ inline double time_once(const std::function<void()>& fn) {
 }
 
 /// Best-of-N wall-clock seconds (reduces scheduler noise).
-inline double time_best(int n, const std::function<void()>& fn) {
+template <class Fn>
+inline double time_best(int n, Fn&& fn) {
   double best = 1e99;
   for (int i = 0; i < n; ++i) {
     double t = time_once(fn);
@@ -54,5 +62,43 @@ inline void print_title(const std::string& id, const std::string& title) {
 inline void print_note(const std::string& note) {
   std::printf("  note: %s\n", note.c_str());
 }
+
+/// Appends JSON-lines records to the file named by USK_BENCH_JSON; a no-op
+/// when the variable is unset, so benches call it unconditionally:
+///
+///   JsonWriter json("bench_smp_scaling");
+///   json.record("sharded+percpu", 4, ops_per_sec, elapsed_s);
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::string bench) : bench_(std::move(bench)) {
+    const char* path = std::getenv("USK_BENCH_JSON");
+    if (path != nullptr && path[0] != '\0') {
+      f_ = std::fopen(path, "a");
+    }
+  }
+  ~JsonWriter() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  [[nodiscard]] bool active() const { return f_ != nullptr; }
+
+  /// One measurement: a named configuration at a thread count.
+  void record(const std::string& config, int threads, double ops_per_sec,
+              double elapsed_s) {
+    if (f_ == nullptr) return;
+    std::fprintf(f_,
+                 "{\"bench\": \"%s\", \"config\": \"%s\", \"threads\": %d, "
+                 "\"ops_per_sec\": %.1f, \"elapsed_s\": %.6f}\n",
+                 bench_.c_str(), config.c_str(), threads, ops_per_sec,
+                 elapsed_s);
+    std::fflush(f_);
+  }
+
+ private:
+  std::string bench_;
+  std::FILE* f_ = nullptr;
+};
 
 }  // namespace usk::bench

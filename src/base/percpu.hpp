@@ -1,0 +1,99 @@
+// Per-CPU data for the simulated SMP kernel.
+//
+// Real kernels index per-CPU state by smp_processor_id(); our "CPUs" are
+// host threads. A thread acquires a CPU slot the first time it asks and
+// keeps it until it exits, when the slot is recycled, so at most one
+// thread writes a given PerCpu slot at any moment. Readers that merge
+// slots (stats aggregation, audit-log drains) must therefore run at a
+// quiescent point -- after workers joined -- exactly like a real kernel
+// summing per-CPU counters. Slots are cache-line aligned so neighbouring
+// CPUs never false-share.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace usk::base {
+
+/// Maximum simultaneously live simulated CPUs. More live threads than
+/// this wrap around and share slots; the simulation never runs that wide.
+inline constexpr std::size_t kMaxCpus = 64;
+
+namespace detail {
+
+/// Hands out CPU ids and recycles them when threads exit.
+class CpuIdPool {
+ public:
+  static CpuIdPool& instance() {
+    static CpuIdPool p;
+    return p;
+  }
+
+  std::size_t acquire() {
+    std::lock_guard lk(mu_);
+    if (!free_.empty()) {
+      std::size_t id = free_.back();
+      free_.pop_back();
+      return id;
+    }
+    return next_++ % kMaxCpus;
+  }
+
+  void release(std::size_t id) {
+    std::lock_guard lk(mu_);
+    free_.push_back(id);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<std::size_t> free_;
+  std::size_t next_ = 0;
+};
+
+struct CpuSlotHolder {
+  std::size_t id = CpuIdPool::instance().acquire();
+  CpuSlotHolder() = default;
+  CpuSlotHolder(const CpuSlotHolder&) = delete;
+  CpuSlotHolder& operator=(const CpuSlotHolder&) = delete;
+  ~CpuSlotHolder() { CpuIdPool::instance().release(id); }
+};
+
+}  // namespace detail
+
+/// The calling thread's CPU number (smp_processor_id analogue).
+inline std::size_t current_cpu() {
+  thread_local detail::CpuSlotHolder slot;
+  return slot.id;
+}
+
+/// Fixed array of per-CPU values, one cache line each.
+template <class T>
+class PerCpu {
+ public:
+  [[nodiscard]] T& local() { return slot(current_cpu()); }
+  [[nodiscard]] T& slot(std::size_t cpu) { return slots_[cpu % kMaxCpus].value; }
+  [[nodiscard]] const T& slot(std::size_t cpu) const {
+    return slots_[cpu % kMaxCpus].value;
+  }
+  [[nodiscard]] static constexpr std::size_t size() { return kMaxCpus; }
+
+  /// Visit every slot (merge stats, drain buffers, reset counters).
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (auto& s : slots_) fn(s.value);
+  }
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& s : slots_) fn(s.value);
+  }
+
+ private:
+  struct alignas(64) Slot {
+    T value{};
+  };
+  std::array<Slot, kMaxCpus> slots_{};
+};
+
+}  // namespace usk::base

@@ -15,7 +15,9 @@ namespace usk::base {
 
 class WorkEngine {
  public:
-  WorkEngine() { scratch_.fill(1); }
+  WorkEngine() {
+    for (auto& w : scratch_) w.store(1, std::memory_order_relaxed);
+  }
 
   /// Execute `units` of pure ALU work.
   void alu(std::uint64_t units) {
@@ -28,7 +30,10 @@ class WorkEngine {
     sink(x);
   }
 
-  /// Execute `units` of cache-touching work (one line per unit).
+  /// Execute `units` of cache-touching work (one line per unit). The
+  /// scratch increments are relaxed atomics so concurrent syscall
+  /// dispatchers (SMP mode) still generate real shared-cache traffic
+  /// without a data race.
   void cache_touch(std::uint64_t units) {
     std::uint64_t x = seed_;
     std::uint64_t acc = 0;
@@ -38,7 +43,8 @@ class WorkEngine {
       x ^= x << 13;
       x ^= x >> 7;
       x ^= x << 17;
-      acc += scratch_[(x >> 6) % scratch_.size()]++;
+      acc += scratch_[(x >> 6) % scratch_.size()].fetch_add(
+          1, std::memory_order_relaxed);
     }
     sink(acc);
   }
@@ -57,7 +63,7 @@ class WorkEngine {
   static constexpr std::size_t kScratchWords = 1 << 15;  // 256 KiB of u64
   std::uint64_t seed_ = 0x853C49E6748FEA9Bull;
   std::atomic<std::uint64_t> total_{0};
-  alignas(64) std::array<std::uint64_t, kScratchWords> scratch_{};
+  alignas(64) std::array<std::atomic<std::uint64_t>, kScratchWords> scratch_{};
 };
 
 }  // namespace usk::base

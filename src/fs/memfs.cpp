@@ -28,6 +28,7 @@ Result<MemFs::Inode*> MemFs::get_dir(InodeNum ino) {
 Result<InodeNum> MemFs::lookup(InodeNum dir, std::string_view name) {
   charge(costs_.lookup);
   ++stats_.lookups;
+  base::ReadGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   auto it = d.value()->children.find(name);
@@ -41,6 +42,7 @@ Result<InodeNum> MemFs::create(InodeNum dir, std::string_view name,
   ++stats_.creates;
   if (name.empty() || name.size() > kMaxName) return Errno::kENAMETOOLONG;
   if (name.find('/') != std::string_view::npos) return Errno::kEINVAL;
+  base::WriteGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   if (d.value()->children.contains(name)) return Errno::kEEXIST;
@@ -63,6 +65,7 @@ Result<InodeNum> MemFs::create(InodeNum dir, std::string_view name,
 Errno MemFs::unlink(InodeNum dir, std::string_view name) {
   charge(costs_.remove);
   ++stats_.removes;
+  base::WriteGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   auto it = d.value()->children.find(name);
@@ -80,6 +83,7 @@ Errno MemFs::unlink(InodeNum dir, std::string_view name) {
 Errno MemFs::link(InodeNum dir, std::string_view name, InodeNum target) {
   charge(costs_.create);
   if (name.empty() || name.size() > kMaxName) return Errno::kENAMETOOLONG;
+  base::WriteGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   Inode* t = get(target);
@@ -96,6 +100,7 @@ Errno MemFs::link(InodeNum dir, std::string_view name, InodeNum target) {
 
 Errno MemFs::chmod(InodeNum ino, std::uint32_t mode) {
   charge(costs_.getattr);
+  base::WriteGuard g(rw_);
   Inode* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
   n->mode = mode;
@@ -106,6 +111,7 @@ Errno MemFs::chmod(InodeNum ino, std::uint32_t mode) {
 Errno MemFs::rmdir(InodeNum dir, std::string_view name) {
   charge(costs_.remove);
   ++stats_.removes;
+  base::WriteGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   auto it = d.value()->children.find(name);
@@ -126,6 +132,7 @@ Errno MemFs::rmdir(InodeNum dir, std::string_view name) {
 Errno MemFs::rename(InodeNum src_dir, std::string_view src_name,
                     InodeNum dst_dir, std::string_view dst_name) {
   charge(costs_.rename);
+  base::WriteGuard g(rw_);
   auto sd = get_dir(src_dir);
   if (!sd) return sd.error();
   auto dd = get_dir(dst_dir);
@@ -193,6 +200,18 @@ void MemFs::touch_blocks(InodeNum ino, std::uint64_t offset,
 Result<std::size_t> MemFs::read(InodeNum ino, std::uint64_t offset,
                                 std::span<std::byte> out) {
   ++stats_.reads;
+  // Concurrent readers share the lock unless an io model is attached (the
+  // buffer cache and extent map are not read-safe).
+  if (io_ != nullptr) {
+    base::WriteGuard g(rw_);
+    return read_locked(ino, offset, out);
+  }
+  base::ReadGuard g(rw_);
+  return read_locked(ino, offset, out);
+}
+
+Result<std::size_t> MemFs::read_locked(InodeNum ino, std::uint64_t offset,
+                                       std::span<std::byte> out) {
   Inode* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
   if (n->type == FileType::kDirectory) return Errno::kEISDIR;
@@ -204,7 +223,9 @@ Result<std::size_t> MemFs::read(InodeNum ino, std::uint64_t offset,
   charge(costs_.data_per_kib * (len + 1023) / 1024 + 8);
   touch_blocks(ino, offset, len, /*write=*/false);
   std::memcpy(out.data(), n->data.data() + offset, len);
-  n->atime = now();
+  // atomic_ref: concurrent shared-lock readers may race on atime.
+  std::atomic_ref<std::uint64_t>(n->atime).store(now(),
+                                                 std::memory_order_relaxed);
   stats_.bytes_read += len;
   return len;
 }
@@ -212,6 +233,7 @@ Result<std::size_t> MemFs::read(InodeNum ino, std::uint64_t offset,
 Result<std::size_t> MemFs::write(InodeNum ino, std::uint64_t offset,
                                  std::span<const std::byte> in) {
   ++stats_.writes;
+  base::WriteGuard g(rw_);
   Inode* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
   if (n->type == FileType::kDirectory) return Errno::kEISDIR;
@@ -228,6 +250,7 @@ Result<std::size_t> MemFs::write(InodeNum ino, std::uint64_t offset,
 
 Errno MemFs::truncate(InodeNum ino, std::uint64_t size) {
   charge(costs_.truncate);
+  base::WriteGuard g(rw_);
   Inode* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
   if (n->type == FileType::kDirectory) return Errno::kEISDIR;
@@ -239,6 +262,7 @@ Errno MemFs::truncate(InodeNum ino, std::uint64_t size) {
 Errno MemFs::getattr(InodeNum ino, StatBuf* st) {
   charge(costs_.getattr);
   ++stats_.getattrs;
+  base::ReadGuard g(rw_);
   Inode* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
   st->ino = ino;
@@ -249,7 +273,9 @@ Errno MemFs::getattr(InodeNum ino, StatBuf* st) {
                  ? n->children.size() * 32  // directory "size"
                  : n->data.size();
   st->blocks = (st->size + 511) / 512;
-  st->atime = n->atime;
+  // atomic_ref pairs with the shared-lock atime update in read_locked.
+  st->atime = std::atomic_ref<std::uint64_t>(n->atime).load(
+      std::memory_order_relaxed);
   st->mtime = n->mtime;
   st->ctime = n->ctime;
   return Errno::kOk;
@@ -257,6 +283,7 @@ Errno MemFs::getattr(InodeNum ino, StatBuf* st) {
 
 Result<std::vector<DirEntry>> MemFs::readdir(InodeNum dir) {
   ++stats_.readdirs;
+  base::ReadGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   charge(costs_.readdir_base +
@@ -291,6 +318,8 @@ Result<std::vector<DirEntry>> MemFs::readdir_window(InodeNum dir,
                                                     std::size_t start,
                                                     std::size_t max_entries) {
   ++stats_.readdirs;
+  // Exclusive: dir_snapshot (re)builds the per-directory listing cache.
+  base::WriteGuard g(rw_);
   auto d = get_dir(dir);
   if (!d) return d.error();
   const std::vector<DirEntry>& all = dir_snapshot(dir, *d.value());

@@ -4,8 +4,13 @@
 // per-operation work costs (metadata ops and per-byte data movement charge
 // a cost hook) so higher layers measure realistic relative costs: a file
 // read costs more than a getattr, a create costs more than a lookup.
+// SMP: an inode-table rwlock makes MemFs safe under parallel dispatch.
+// The read-mostly metadata path (lookup/getattr/read) takes the lock
+// shared -- timestamps it still touches are accessed through atomic_ref --
+// and namespace mutations take it exclusive. Counters are relaxed atomics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -13,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/sync.hpp"
 #include "blockdev/buffer_cache.hpp"
 #include "fs/filesystem.hpp"
 
@@ -33,15 +39,15 @@ struct FsCosts {
 };
 
 struct MemFsStats {
-  std::uint64_t lookups = 0;
-  std::uint64_t creates = 0;
-  std::uint64_t removes = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t getattrs = 0;
-  std::uint64_t readdirs = 0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t bytes_written = 0;
+  std::atomic<std::uint64_t> lookups{0};
+  std::atomic<std::uint64_t> creates{0};
+  std::atomic<std::uint64_t> removes{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> getattrs{0};
+  std::atomic<std::uint64_t> readdirs{0};
+  std::atomic<std::uint64_t> bytes_read{0};
+  std::atomic<std::uint64_t> bytes_written{0};
 };
 
 class MemFs final : public FileSystem {
@@ -84,7 +90,12 @@ class MemFs final : public FileSystem {
       InodeNum dir, std::size_t start, std::size_t max_entries) override;
 
   [[nodiscard]] const MemFsStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t inode_count() const { return inodes_.size(); }
+  [[nodiscard]] std::size_t inode_count() const {
+    base::ReadGuard g(rw_);
+    return inodes_.size();
+  }
+  /// The inode-table rwlock (exposed for contention reporting).
+  [[nodiscard]] base::RwLock& rwlock() const { return rw_; }
 
  private:
   static constexpr InodeNum kRootIno = 1;
@@ -112,9 +123,13 @@ class MemFs final : public FileSystem {
   void charge(std::uint64_t units) {
     if (charge_) charge_(units);
   }
-  std::uint64_t now() { return ++clock_; }
+  std::uint64_t now() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   Inode* get(InodeNum ino);
   Result<Inode*> get_dir(InodeNum ino);
+  Result<std::size_t> read_locked(InodeNum ino, std::uint64_t offset,
+                                  std::span<std::byte> out);
 
   const std::vector<DirEntry>& dir_snapshot(InodeNum ino, Inode& dir);
 
@@ -122,10 +137,13 @@ class MemFs final : public FileSystem {
   void touch_blocks(InodeNum ino, std::uint64_t offset, std::size_t len,
                     bool write);
 
+  // rw_ guards inodes_, dir_cache_, next_ino_, extent_, and the io model;
+  // see the SMP note at the top of this header.
+  mutable base::RwLock rw_{"memfs_inodes"};
   std::unordered_map<InodeNum, Inode> inodes_;
   std::unordered_map<InodeNum, DirCache> dir_cache_;
   InodeNum next_ino_ = 2;
-  std::uint64_t clock_ = 0;
+  std::atomic<std::uint64_t> clock_{0};
   FsCosts costs_;
   MemFsStats stats_;
   std::function<void(std::uint64_t)> charge_;

@@ -8,6 +8,7 @@
 // boundary (src/uk) performs the copy_{to,from}_user on either side.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -43,20 +44,26 @@ class FdTable {
   std::vector<std::optional<OpenFile>> files_;
 };
 
+/// Counters are relaxed atomics: the VFS itself is stateless per call
+/// apart from these (path walks read the dcache and mount table), so this
+/// is all it takes for concurrent dispatchers to share one Vfs. The mount
+/// table stays a plain map -- mounts are set up before worker threads
+/// start, like most real-world mount activity.
 struct VfsStats {
-  std::uint64_t opens = 0;
-  std::uint64_t closes = 0;
-  std::uint64_t reads = 0;
-  std::uint64_t writes = 0;
-  std::uint64_t stats_ = 0;
-  std::uint64_t path_components = 0;
-  std::uint64_t mount_crossings = 0;
+  std::atomic<std::uint64_t> opens{0};
+  std::atomic<std::uint64_t> closes{0};
+  std::atomic<std::uint64_t> reads{0};
+  std::atomic<std::uint64_t> writes{0};
+  std::atomic<std::uint64_t> stats_{0};
+  std::atomic<std::uint64_t> path_components{0};
+  std::atomic<std::uint64_t> mount_crossings{0};
 };
 
 class Vfs {
  public:
-  explicit Vfs(FileSystem& rootfs, std::size_t dcache_capacity = 8192)
-      : fs_(rootfs), dcache_(dcache_capacity) {}
+  explicit Vfs(FileSystem& rootfs, std::size_t dcache_capacity = 8192,
+               std::size_t dcache_shards = Dcache::kDefaultShards)
+      : fs_(rootfs), dcache_(dcache_capacity, dcache_shards) {}
 
   /// A position in the (possibly multi-filesystem) namespace.
   struct Loc {

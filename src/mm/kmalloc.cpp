@@ -9,6 +9,13 @@ namespace {
 constexpr std::size_t kMaxSmall = 4096;
 }
 
+Kmalloc::Kmalloc(vm::PhysMem& phys, bool per_cpu_cache)
+    : phys_(phys),
+      per_cpu_(per_cpu_cache),
+      frame_class_(phys.frame_count(), 0) {
+  if (per_cpu_) cpu_ = std::make_unique<base::PerCpu<CpuCache>>();
+}
+
 Kmalloc::~Kmalloc() {
   for (vm::Pfn pfn : slab_frames_) phys_.free_frame(pfn);
   for (const auto& [ptr, info] : large_) {
@@ -30,56 +37,58 @@ int Kmalloc::class_index(std::size_t klass) {
 
 BufferHandle Kmalloc::alloc(std::size_t n, const char* /*file*/,
                             int /*line*/) {
-  ++stats_.alloc_calls;
   if (n == 0) n = 1;
+  return per_cpu_ ? alloc_percpu(n) : alloc_legacy(n);
+}
+
+void Kmalloc::free(const BufferHandle& h) {
+  if (per_cpu_) {
+    free_percpu(h);
+  } else {
+    free_legacy(h);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Legacy path: every operation under the depot lock; exact LIFO reuse and
+// the live-chunk map's foreign-free assert, as the single-CPU paper build
+// had. The depot lock makes this the "shared allocator" SMP baseline.
+// ---------------------------------------------------------------------------
+
+BufferHandle Kmalloc::alloc_legacy(std::size_t n) {
+  USK_SPIN_GUARD(depot_lock_);
+  ++stats_.alloc_calls;
 
   void* ptr = nullptr;
-  std::size_t footprint_pages = 0;
 
   if (n <= kMaxSmall) {
     std::size_t klass = size_class(n);
     int idx = class_index(klass);
-    if (free_lists_[idx].empty()) {
-      // Refill: carve one frame into chunks of this class.
-      Result<vm::Pfn> frame = phys_.alloc_frame();
-      if (!frame) {
-        ++stats_.failed_allocs;
-        return {};
-      }
-      slab_frames_.push_back(frame.value());
-      std::byte* base = phys_.frame_data(frame.value());
-      for (std::size_t off = 0; off + klass <= vm::kPageSize; off += klass) {
-        free_lists_[idx].push_back(base + off);
-      }
-    }
-    ptr = free_lists_[idx].back();
-    free_lists_[idx].pop_back();
-    live_[ptr] = ChunkInfo{klass, n};
-    // Slab accounting: charge the chunk's share of a page.
-    footprint_pages = 0;  // shared frames counted via slab_frames_ growth
-  } else {
-    std::size_t frames = vm::pages_for(n);
-    Result<vm::Pfn> first = phys_.alloc_contiguous(frames);
-    if (!first) {
+    ptr = depot_alloc_chunk(idx, klass);
+    if (ptr == nullptr) {
       ++stats_.failed_allocs;
       return {};
     }
-    ptr = phys_.frame_data(first.value());
-    large_[ptr] = LargeInfo{first.value(), frames, n};
-    footprint_pages = frames;
+    live_[ptr] = ChunkInfo{klass, n};
+    // Slab accounting: shared frames counted via slab_frames_ growth.
+  } else {
+    // alloc_large accounts outstanding/peak pages itself.
+    BufferHandle h = alloc_large(n);
+    if (h.raw == nullptr) {
+      ++stats_.failed_allocs;
+      return {};
+    }
+    ptr = h.raw;
   }
 
   stats_.bytes_requested += n;
   ++stats_.outstanding_allocs;
   stats_.outstanding_bytes += n;
-  stats_.outstanding_pages += footprint_pages;
-  if (stats_.outstanding_pages > stats_.peak_outstanding_pages) {
-    stats_.peak_outstanding_pages = stats_.outstanding_pages;
-  }
   return BufferHandle{ptr, 0, n};
 }
 
-void Kmalloc::free(const BufferHandle& h) {
+void Kmalloc::free_legacy(const BufferHandle& h) {
+  USK_SPIN_GUARD(depot_lock_);
   ++stats_.free_calls;
   if (h.raw == nullptr) return;
 
@@ -96,11 +105,172 @@ void Kmalloc::free(const BufferHandle& h) {
     stats_.outstanding_bytes -= it->second.requested;
     stats_.outstanding_pages -= it->second.frames;
     --stats_.outstanding_allocs;
-    phys_.free_contiguous(it->second.first, it->second.frames);
+    free_large_locked(h, it->second);
     large_.erase(it);
     return;
   }
   assert(false && "kfree of pointer not owned by kmalloc");
+}
+
+// ---------------------------------------------------------------------------
+// Per-CPU path: magazines front the depot. The only shared-state accesses
+// are the half-magazine batch exchanges, so the depot lock is acquired once
+// per kMagazineSize/2 allocs instead of once per alloc.
+// ---------------------------------------------------------------------------
+
+BufferHandle Kmalloc::alloc_percpu(std::size_t n) {
+  CpuCache& c = cpu_->local();
+  c.stats.alloc_calls.fetch_add(1, std::memory_order_relaxed);
+
+  void* ptr = nullptr;
+  if (n <= kMaxSmall) {
+    std::size_t klass = size_class(n);
+    int idx = class_index(klass);
+    USK_SPIN_GUARD(c.lock);
+    std::vector<void*>& mag = c.magazine[idx];
+    if (mag.empty()) {
+      // Underflow: pull half a magazine from the depot in one critical
+      // section (lock order: cpu -> depot, never the reverse).
+      USK_SPIN_GUARD(depot_lock_);
+      for (std::size_t i = 0; i < kMagazineSize / 2; ++i) {
+        void* chunk = depot_alloc_chunk(idx, klass);
+        if (chunk == nullptr) break;
+        mag.push_back(chunk);
+      }
+    }
+    if (mag.empty()) {
+      c.stats.failed_allocs.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    ptr = mag.back();
+    mag.pop_back();
+  } else {
+    USK_SPIN_GUARD(depot_lock_);
+    BufferHandle h = alloc_large(n);
+    if (h.raw == nullptr) {
+      c.stats.failed_allocs.fetch_add(1, std::memory_order_relaxed);
+      return {};
+    }
+    ptr = h.raw;
+  }
+
+  c.stats.bytes_requested.fetch_add(n, std::memory_order_relaxed);
+  c.stats.outstanding_allocs.fetch_add(1, std::memory_order_relaxed);
+  c.stats.outstanding_bytes.fetch_add(static_cast<std::int64_t>(n),
+                                      std::memory_order_relaxed);
+  return BufferHandle{ptr, 0, n};
+}
+
+void Kmalloc::free_percpu(const BufferHandle& h) {
+  CpuCache& c = cpu_->local();
+  c.stats.free_calls.fetch_add(1, std::memory_order_relaxed);
+  if (h.raw == nullptr) return;
+
+  vm::Pfn pfn = phys_.pfn_of(h.raw);
+  // frame_class_ was written under the depot lock before this chunk was
+  // first handed out; the chunk reached this thread through a depot
+  // refill, so the read is ordered -- no lock needed.
+  std::size_t klass = (pfn != vm::kInvalidPfn) ? frame_class_[pfn] : 0;
+  if (klass != 0) {
+    std::memset(h.raw, 0x6b, klass);  // SLAB_POISON
+    int idx = class_index(klass);
+    USK_SPIN_GUARD(c.lock);
+    std::vector<void*>& mag = c.magazine[idx];
+    if (mag.size() >= kMagazineSize) {
+      // Overflow: return half a magazine to the depot in one batch.
+      USK_SPIN_GUARD(depot_lock_);
+      for (std::size_t i = 0; i < kMagazineSize / 2; ++i) {
+        free_lists_[idx].push_back(mag.back());
+        mag.pop_back();
+      }
+    }
+    mag.push_back(h.raw);
+  } else {
+    USK_SPIN_GUARD(depot_lock_);
+    auto it = large_.find(h.raw);
+    assert(it != large_.end() && "kfree of pointer not owned by kmalloc");
+    if (it == large_.end()) return;
+    stats_.outstanding_pages -= it->second.frames;
+    free_large_locked(h, it->second);
+    large_.erase(it);
+  }
+
+  c.stats.outstanding_allocs.fetch_sub(1, std::memory_order_relaxed);
+  c.stats.outstanding_bytes.fetch_sub(static_cast<std::int64_t>(h.size),
+                                      std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Depot internals (callers hold depot_lock_).
+// ---------------------------------------------------------------------------
+
+void* Kmalloc::depot_alloc_chunk(int idx, std::size_t klass) {
+  if (free_lists_[idx].empty()) {
+    // Refill: carve one frame into chunks of this class.
+    Result<vm::Pfn> frame = phys_.alloc_frame();
+    if (!frame) return nullptr;
+    slab_frames_.push_back(frame.value());
+    frame_class_[frame.value()] = klass;
+    std::byte* base = phys_.frame_data(frame.value());
+    for (std::size_t off = 0; off + klass <= vm::kPageSize; off += klass) {
+      free_lists_[idx].push_back(base + off);
+    }
+  }
+  void* ptr = free_lists_[idx].back();
+  free_lists_[idx].pop_back();
+  return ptr;
+}
+
+BufferHandle Kmalloc::alloc_large(std::size_t n) {
+  std::size_t frames = vm::pages_for(n);
+  Result<vm::Pfn> first = phys_.alloc_contiguous(frames);
+  if (!first) return {};
+  void* ptr = phys_.frame_data(first.value());
+  large_[ptr] = LargeInfo{first.value(), frames, n};
+  stats_.outstanding_pages += frames;
+  if (stats_.outstanding_pages > stats_.peak_outstanding_pages) {
+    stats_.peak_outstanding_pages = stats_.outstanding_pages;
+  }
+  return BufferHandle{ptr, 0, n};
+}
+
+void Kmalloc::free_large_locked(const BufferHandle& /*h*/,
+                                const LargeInfo& info) {
+  phys_.free_contiguous(info.first, info.frames);
+}
+
+// ---------------------------------------------------------------------------
+// Stats.
+// ---------------------------------------------------------------------------
+
+const AllocatorStats& Kmalloc::stats() const {
+  USK_SPIN_GUARD(depot_lock_);
+  merged_ = stats_;
+  if (cpu_) {
+    cpu_->for_each([&](const CpuCache& c) {
+      merged_.alloc_calls +=
+          c.stats.alloc_calls.load(std::memory_order_relaxed);
+      merged_.free_calls += c.stats.free_calls.load(std::memory_order_relaxed);
+      merged_.failed_allocs +=
+          c.stats.failed_allocs.load(std::memory_order_relaxed);
+      merged_.bytes_requested +=
+          c.stats.bytes_requested.load(std::memory_order_relaxed);
+      merged_.outstanding_allocs += static_cast<std::uint64_t>(
+          c.stats.outstanding_allocs.load(std::memory_order_relaxed));
+      merged_.outstanding_bytes += static_cast<std::uint64_t>(
+          c.stats.outstanding_bytes.load(std::memory_order_relaxed));
+    });
+  }
+  return merged_;
+}
+
+std::size_t Kmalloc::cached_chunks() const {
+  if (!cpu_) return 0;
+  std::size_t n = 0;
+  cpu_->for_each([&](const CpuCache& c) {
+    for (const auto& mag : c.magazine) n += mag.size();
+  });
+  return n;
 }
 
 Errno Kmalloc::read(const BufferHandle& h, std::size_t offset, void* dst,

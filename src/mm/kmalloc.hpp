@@ -5,12 +5,24 @@
 // recycled through per-class free lists; returned memory is directly
 // addressable (kernel linear mapping), so access costs nothing extra --
 // and nothing protects against overflow into the neighbouring chunk.
+//
+// SMP: the shared free lists (the "depot") sit behind one instrumented
+// kmalloc_depot SpinLock. With per-CPU caching enabled (SLUB-style),
+// alloc/free hit a per-CPU magazine first -- a small per-class stack of
+// chunks guarded by that CPU's uncontended kmalloc_cpu lock -- and only
+// magazine overflow/underflow batch-exchanges half a magazine with the
+// depot under the depot lock. The default (per_cpu_cache == false) keeps
+// the paper's single shared allocator: exact LIFO chunk reuse and the
+// live-chunk map that asserts on foreign frees.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "base/percpu.hpp"
+#include "base/sync.hpp"
 #include "mm/allocator.hpp"
 #include "vm/phys.hpp"
 
@@ -18,7 +30,7 @@ namespace usk::mm {
 
 class Kmalloc final : public Allocator {
  public:
-  explicit Kmalloc(vm::PhysMem& phys) : phys_(phys) {}
+  explicit Kmalloc(vm::PhysMem& phys, bool per_cpu_cache = false);
   ~Kmalloc() override;
 
   Kmalloc(const Kmalloc&) = delete;
@@ -32,8 +44,18 @@ class Kmalloc final : public Allocator {
   Errno write(const BufferHandle& h, std::size_t offset, const void* src,
               std::size_t n) override;
 
-  [[nodiscard]] const AllocatorStats& stats() const override { return stats_; }
+  /// Counters merged across the depot and every CPU magazine. Callers read
+  /// this at quiescent points (after joining workers); the merge itself is
+  /// race-free but the returned snapshot is only stable once allocation
+  /// traffic has stopped.
+  [[nodiscard]] const AllocatorStats& stats() const override;
   [[nodiscard]] const char* name() const override { return "kmalloc"; }
+
+  [[nodiscard]] bool per_cpu_cache() const { return per_cpu_; }
+  /// The shared free-list lock (the SMP bench's contention metric).
+  [[nodiscard]] base::SpinLock& depot_lock() { return depot_lock_; }
+  /// Chunks parked in CPU magazines right now (quiescent-point read).
+  [[nodiscard]] std::size_t cached_chunks() const;
 
   /// Size class (rounded-up chunk size) a request of `n` bytes lands in.
   static std::size_t size_class(std::size_t n);
@@ -48,6 +70,9 @@ class Kmalloc final : public Allocator {
   // allocations tracked individually.
   static constexpr std::size_t kMinClass = 32;
   static constexpr std::size_t kNumClasses = 8;  // 32..4096
+  // Magazine depth per size class; overflow/underflow moves half a
+  // magazine to/from the depot in one depot-lock critical section.
+  static constexpr std::size_t kMagazineSize = 64;
 
   static int class_index(std::size_t klass);
 
@@ -57,12 +82,55 @@ class Kmalloc final : public Allocator {
     std::size_t requested;
   };
 
+  // Per-CPU counter block. Plain relaxed atomics: a CPU slot is normally
+  // owned by one thread, but slots recycle (and wrap past kMaxCpus), so
+  // every field stays atomic. Outstanding counts are signed deltas because
+  // memory freed on a different CPU than it was allocated on debits the
+  // freeing CPU.
+  struct CpuStats {
+    std::atomic<std::uint64_t> alloc_calls{0};
+    std::atomic<std::uint64_t> free_calls{0};
+    std::atomic<std::uint64_t> failed_allocs{0};
+    std::atomic<std::uint64_t> bytes_requested{0};
+    std::atomic<std::int64_t> outstanding_allocs{0};
+    std::atomic<std::int64_t> outstanding_bytes{0};
+  };
+
+  struct CpuCache {
+    base::SpinLock lock{"kmalloc_cpu"};
+    std::vector<void*> magazine[kNumClasses];
+    CpuStats stats;
+  };
+
+  // Depot-side paths. Callers hold depot_lock_.
+  void* depot_alloc_chunk(int idx, std::size_t klass);
+  BufferHandle alloc_large(std::size_t n);
+  void free_large_locked(const BufferHandle& h, const LargeInfo& info);
+
+  BufferHandle alloc_legacy(std::size_t n);
+  void free_legacy(const BufferHandle& h);
+  BufferHandle alloc_percpu(std::size_t n);
+  void free_percpu(const BufferHandle& h);
+
   vm::PhysMem& phys_;
+  const bool per_cpu_;
+
+  // --- shared state, all guarded by depot_lock_ ---
+  mutable base::SpinLock depot_lock_{"kmalloc_depot"};
   std::vector<void*> free_lists_[kNumClasses];
-  std::unordered_map<void*, ChunkInfo> live_;
+  std::unordered_map<void*, ChunkInfo> live_;  ///< legacy mode only
   std::unordered_map<void*, LargeInfo> large_;
   std::vector<vm::Pfn> slab_frames_;  ///< frames feeding the size classes
-  AllocatorStats stats_;
+  AllocatorStats stats_;              ///< legacy mode + page accounting
+  // Size class of every slab frame's chunks, indexed by pfn; written while
+  // carving a frame (under depot_lock_) before any of its chunks escape,
+  // so the lock-free reads on the per-CPU free path are ordered by the
+  // depot lock hand-off. 0 = not a slab frame.
+  std::vector<std::size_t> frame_class_;
+
+  // --- per-CPU state (per_cpu_ mode) ---
+  std::unique_ptr<base::PerCpu<CpuCache>> cpu_;
+  mutable AllocatorStats merged_;  ///< scratch for stats(), under depot lock
 };
 
 }  // namespace usk::mm

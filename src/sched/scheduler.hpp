@@ -5,57 +5,74 @@
 // `quantum` points the current task is "scheduled out", which is when the
 // watchdog examines its in-kernel running time and kills it if the budget
 // is exceeded -- the paper's exact policy.
+//
+// SMP: "current" is per-CPU, as on real SMP hardware -- each dispatching
+// thread tracks the task it is running plus its own quantum progress, so
+// parallel Kernel::dispatch never fights over a global current pointer.
+// spawn() serializes on a mutex (task creation is the cold path), and the
+// global counters are relaxed atomics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "base/klog.hpp"
+#include "base/percpu.hpp"
 #include "sched/task.hpp"
 
 namespace usk::sched {
 
 struct SchedStats {
-  std::uint64_t preempt_points = 0;
-  std::uint64_t schedules = 0;  ///< schedule-out events
-  std::uint64_t watchdog_kills = 0;
+  std::atomic<std::uint64_t> preempt_points{0};
+  std::atomic<std::uint64_t> schedules{0};  ///< schedule-out events
+  std::atomic<std::uint64_t> watchdog_kills{0};
 };
 
 class Scheduler {
  public:
   explicit Scheduler(std::uint32_t quantum = 32) : quantum_(quantum) {}
 
-  /// Create a task; the first task spawned becomes current.
+  /// Create a task; the first task spawned on a CPU becomes its current.
   Task& spawn(std::string name) {
+    std::lock_guard lk(spawn_mu_);
     tasks_.push_back(std::make_unique<Task>(next_pid_++, std::move(name)));
     Task& t = *tasks_.back();
-    if (current_ == nullptr) {
-      current_ = &t;
+    Cpu& cpu = cpu_.local();
+    if (cpu.current == nullptr) {
+      cpu.current = &t;
       t.set_state(TaskState::kRunning);
     }
     return t;
   }
 
-  [[nodiscard]] Task* current() const { return current_; }
+  /// The task running on the calling CPU.
+  [[nodiscard]] Task* current() { return cpu_.local().current; }
 
   void set_current(Task& t) {
-    if (current_ != nullptr && current_->state() == TaskState::kRunning) {
-      current_->set_state(TaskState::kRunnable);
+    Cpu& cpu = cpu_.local();
+    if (cpu.current == &t) return;  // fast path: same task re-enters
+    if (cpu.current != nullptr &&
+        cpu.current->state() == TaskState::kRunning) {
+      cpu.current->set_state(TaskState::kRunnable);
     }
-    current_ = &t;
+    cpu.current = &t;
     t.set_state(TaskState::kRunning);
   }
 
-  /// Preemption point for the *current* task. Returns false when the task
-  /// was killed by the watchdog and must abort its kernel work.
+  /// Preemption point for the calling CPU's current task. Returns false
+  /// when the task was killed by the watchdog and must abort its kernel
+  /// work.
   bool preempt_point() {
-    ++stats_.preempt_points;
-    Task* t = current_;
+    stats_.preempt_points.fetch_add(1, std::memory_order_relaxed);
+    Cpu& cpu = cpu_.local();
+    Task* t = cpu.current;
     if (t == nullptr) return true;
     ++t->preemptions;
-    if (++since_schedule_ >= quantum_) {
-      since_schedule_ = 0;
+    if (++cpu.since_schedule >= quantum_) {
+      cpu.since_schedule = 0;
       return schedule_out(*t);
     }
     return t->alive();
@@ -63,9 +80,9 @@ class Scheduler {
 
   /// Force a schedule-out (e.g., the task blocked). Runs the watchdog.
   bool schedule_out(Task& t) {
-    ++stats_.schedules;
+    stats_.schedules.fetch_add(1, std::memory_order_relaxed);
     if (t.in_kernel() && t.over_kernel_budget()) {
-      ++stats_.watchdog_kills;
+      stats_.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
       t.set_state(TaskState::kKilled);
       base::klogf(base::LogLevel::kCrit,
                   "watchdog: task %u (%s) exceeded kernel budget "
@@ -79,14 +96,22 @@ class Scheduler {
   }
 
   [[nodiscard]] const SchedStats& stats() const { return stats_; }
-  [[nodiscard]] std::size_t task_count() const { return tasks_.size(); }
+  [[nodiscard]] std::size_t task_count() const {
+    std::lock_guard lk(spawn_mu_);
+    return tasks_.size();
+  }
 
  private:
+  struct Cpu {
+    Task* current = nullptr;
+    std::uint32_t since_schedule = 0;
+  };
+
   std::uint32_t quantum_;
-  std::uint32_t since_schedule_ = 0;
+  mutable std::mutex spawn_mu_;
   Pid next_pid_ = 1;
   std::vector<std::unique_ptr<Task>> tasks_;
-  Task* current_ = nullptr;
+  base::PerCpu<Cpu> cpu_;
   SchedStats stats_;
 };
 

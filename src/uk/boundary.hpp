@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <cstring>
 
+#include "base/percpu.hpp"
 #include "base/work.hpp"
 #include "sched/task.hpp"
 
@@ -42,9 +43,11 @@ class Boundary {
   Boundary(base::WorkEngine& engine, CostModel model = CostModel{})
       : engine_(engine), model_(model) {}
 
-  /// Enter the kernel on behalf of `task` (one crossing).
+  /// Enter the kernel on behalf of `task` (one crossing). Counters are
+  /// per-CPU so concurrent dispatchers (SMP mode) never bounce a shared
+  /// cache line on the syscall hot path; stats() merges the slots.
   void enter_kernel(sched::Task& task) {
-    ++stats_.crossings;
+    ++stats_.local().crossings;
     task.enter_kernel();
     engine_.alu(model_.crossing_alu);
     engine_.cache_touch(model_.crossing_cache);
@@ -60,8 +63,10 @@ class Boundary {
 
   std::size_t copy_from_user(sched::Task& task, void* kdst, const void* usrc,
                              std::size_t n) {
-    ++stats_.copies_from_user;
-    stats_.bytes_from_user += n;
+    BoundaryStats& s = stats_.local();
+    ++s.copies_from_user;
+    s.bytes_from_user += n;
+    task.bytes_from_user += n;
     charge_copy(task, n);
     std::memcpy(kdst, usrc, n);
     return n;
@@ -69,8 +74,10 @@ class Boundary {
 
   std::size_t copy_to_user(sched::Task& task, void* udst, const void* ksrc,
                            std::size_t n) {
-    ++stats_.copies_to_user;
-    stats_.bytes_to_user += n;
+    BoundaryStats& s = stats_.local();
+    ++s.copies_to_user;
+    s.bytes_to_user += n;
+    task.bytes_to_user += n;
     charge_copy(task, n);
     std::memcpy(udst, ksrc, n);
     return n;
@@ -86,11 +93,26 @@ class Boundary {
     return static_cast<std::int64_t>(len);
   }
 
-  [[nodiscard]] const BoundaryStats& stats() const { return stats_; }
+  /// Merged snapshot of every CPU's counters. Quiescent-point read: each
+  /// slot is written by its owning thread only, so merge after workers
+  /// joined (single-threaded callers see exact live values as before).
+  [[nodiscard]] BoundaryStats stats() const {
+    BoundaryStats sum;
+    stats_.for_each([&](const BoundaryStats& s) {
+      sum.crossings += s.crossings;
+      sum.copies_from_user += s.copies_from_user;
+      sum.copies_to_user += s.copies_to_user;
+      sum.bytes_from_user += s.bytes_from_user;
+      sum.bytes_to_user += s.bytes_to_user;
+    });
+    return sum;
+  }
   [[nodiscard]] const CostModel& model() const { return model_; }
   [[nodiscard]] base::WorkEngine& engine() { return engine_; }
 
-  void reset_stats() { stats_ = BoundaryStats{}; }
+  void reset_stats() {
+    stats_.for_each([](BoundaryStats& s) { s = BoundaryStats{}; });
+  }
 
  private:
   void charge_copy(sched::Task& task, std::size_t n) {
@@ -102,7 +124,7 @@ class Boundary {
 
   base::WorkEngine& engine_;
   CostModel model_;
-  BoundaryStats stats_;
+  base::PerCpu<BoundaryStats> stats_;
 };
 
 }  // namespace usk::uk

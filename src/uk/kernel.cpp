@@ -8,14 +8,15 @@ namespace usk::uk {
 Kernel::Kernel(fs::FileSystem& rootfs, KernelConfig cfg)
     : phys_(cfg.phys_frames),
       kernel_as_(phys_, "kernel"),
-      kmalloc_(phys_),
+      kmalloc_(phys_, cfg.kmalloc_per_cpu_cache),
       vmalloc_(kernel_as_, cfg.vmalloc_base, cfg.vmalloc_pages),
       sched_(cfg.sched_quantum),
       boundary_(engine_, cfg.boundary),
-      vfs_(rootfs, cfg.dcache_capacity) {}
+      vfs_(rootfs, cfg.dcache_capacity, cfg.dcache_shards) {}
 
 Process& Kernel::spawn(std::string name) {
   sched::Task& t = sched_.spawn(std::move(name));
+  std::lock_guard lk(spawn_mu_);
   procs_.push_back(std::make_unique<Process>(t));
   return *procs_.back();
 }
@@ -24,9 +25,10 @@ Process& Kernel::spawn(std::string name) {
 
 Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
     : k_(k), p_(p), nr_(nr), wall0_(std::chrono::steady_clock::now()) {
-  const BoundaryStats& bs = k_.boundary_.stats();
-  in0_ = bs.bytes_from_user;
-  out0_ = bs.bytes_to_user;
+  // Per-task copy counters: the audit byte deltas stay correct when other
+  // tasks dispatch concurrently on sibling CPUs.
+  in0_ = p_.task.bytes_from_user;
+  out0_ = p_.task.bytes_to_user;
   k_.boundary_.enter_kernel(p_.task);
   ++p_.task.syscalls;
   k_.sched_.set_current(p_.task);
@@ -38,13 +40,12 @@ Kernel::Scope::~Scope() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - wall0_)
           .count());
-  const BoundaryStats& bs = k_.boundary_.stats();
   AuditRecord r;
   r.pid = p_.task.pid();
   r.nr = nr_;
   r.ret = ret_;
-  r.bytes_in = static_cast<std::uint32_t>(bs.bytes_from_user - in0_);
-  r.bytes_out = static_cast<std::uint32_t>(bs.bytes_to_user - out0_);
+  r.bytes_in = static_cast<std::uint32_t>(p_.task.bytes_from_user - in0_);
+  r.bytes_out = static_cast<std::uint32_t>(p_.task.bytes_to_user - out0_);
   k_.audit_.record(r);
 }
 

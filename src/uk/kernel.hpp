@@ -11,6 +11,7 @@
 #include <chrono>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ struct KernelConfig {
   std::size_t phys_frames = 1 << 16;  ///< 256 MiB of simulated RAM
   CostModel boundary;
   std::size_t dcache_capacity = 8192;
+  /// Dcache lock sharding. 1 = the paper's single global dcache_lock
+  /// (what bench_evmon's E6 reproduction measures); the default spreads
+  /// the namespace across independent locks for parallel dispatch.
+  std::size_t dcache_shards = fs::Dcache::kDefaultShards;
+  /// Put per-CPU magazine caches in front of kmalloc's shared free lists
+  /// (SLUB-style). Off by default: the single-allocator configuration is
+  /// what the paper's experiments model.
+  bool kmalloc_per_cpu_cache = false;
   std::uint32_t sched_quantum = 32;
   /// Base of the vmalloc virtual area and its size in pages.
   vm::VAddr vmalloc_base = 0xFFFF800000000000ull;
@@ -64,7 +73,8 @@ class Kernel {
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
-  /// Create a process (and its scheduler task).
+  /// Create a process (and its scheduler task). Thread-safe; processes
+  /// are normally spawned before parallel dispatch starts.
   Process& spawn(std::string name);
 
   // --- subsystem access ----------------------------------------------------
@@ -153,6 +163,7 @@ class Kernel {
   Boundary boundary_;
   Audit audit_;
   fs::Vfs vfs_;
+  std::mutex spawn_mu_;
   std::vector<std::unique_ptr<Process>> procs_;
 };
 

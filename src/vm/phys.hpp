@@ -67,6 +67,20 @@ class PhysMem {
   [[nodiscard]] bool is_allocated(Pfn pfn) const;
   [[nodiscard]] const PhysStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t free_frames() const { return free_list_.size(); }
+  [[nodiscard]] std::size_t frame_count() const { return allocated_.size(); }
+
+  /// Frame number owning `p`, or kInvalidPfn when `p` is not inside the
+  /// backing store. The backing is one contiguous mapping, so this is pure
+  /// pointer arithmetic -- the SMP kmalloc uses it to find a chunk's slab
+  /// metadata without any shared map.
+  [[nodiscard]] Pfn pfn_of(const void* p) const {
+    const std::byte* b = static_cast<const std::byte*>(p);
+    if (b < backing_.get() ||
+        b >= backing_.get() + allocated_.size() * kPageSize) {
+      return kInvalidPfn;
+    }
+    return static_cast<Pfn>((b - backing_.get()) >> kPageShift);
+  }
 
  private:
   std::unique_ptr<std::byte[]> backing_;

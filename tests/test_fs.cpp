@@ -254,7 +254,7 @@ TEST(DcacheTest, InsertLookupInvalidate) {
 }
 
 TEST(DcacheTest, LruEviction) {
-  Dcache dc(3);
+  Dcache dc(3, 1);  // 1 shard: strict global LRU, the seed's semantics
   dc.insert(1, "a", 10);
   dc.insert(1, "b", 11);
   dc.insert(1, "c", 12);
@@ -278,13 +278,23 @@ TEST(DcacheTest, InvalidateDirDropsAllChildren) {
 }
 
 TEST(DcacheTest, LockAcquisitionsCounted) {
-  Dcache dc(64);
+  Dcache dc(64, 1);  // 1 shard: every op takes the one global dcache_lock
   std::uint64_t before = dc.lock().acquisitions();
   dc.insert(1, "a", 2);
   dc.lookup(1, "a");
   dc.invalidate(1, "a");
   EXPECT_EQ(dc.lock().acquisitions(), before + 3);
   EXPECT_EQ(dc.lock().name(), "dcache_lock");
+}
+
+TEST(DcacheTest, ShardedLockAcquisitionsAggregated) {
+  Dcache dc(64, 8);
+  std::uint64_t before = dc.lock_acquisitions();
+  dc.insert(1, "a", 2);
+  dc.lookup(1, "a");
+  dc.invalidate(1, "a");
+  // Each op acquires exactly one shard lock, whichever shard "a" maps to.
+  EXPECT_EQ(dc.lock_acquisitions(), before + 3);
 }
 
 // --- Vfs ---------------------------------------------------------------------------------

@@ -311,7 +311,12 @@ TEST(Integration, FullStackKitchenSink) {
   kefence::Kefence kef(vmalloc, kopt, &km);
   fs::MemFs lower;
   fs::WrapFs wrap(lower, kef);
-  uk::Kernel kernel(wrap);
+  // The evmon rules below monitor "the" dcache_lock, so run the paper's
+  // single-global-lock configuration (1 shard). A sharded kernel would
+  // need every shard lock registered to see all events.
+  uk::KernelConfig kcfg;
+  kcfg.dcache_shards = 1;
+  uk::Kernel kernel(wrap, kcfg);
   lower.set_cost_hook(kernel.charge_hook());
 
   evmon::Dispatcher dispatcher;

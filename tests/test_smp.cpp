@@ -1,0 +1,392 @@
+// SMP correctness: sharded dcache, per-CPU kmalloc, parallel dispatch.
+//
+// These tests are the ones the TSan configuration is aimed at:
+//   cmake -B build-tsan -S . -DUSK_SANITIZE=thread
+//   cmake --build build-tsan -j && (cd build-tsan && ctest -R Smp)
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <list>
+#include <map>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/percpu.hpp"
+#include "fs/dcache.hpp"
+#include "mm/kmalloc.hpp"
+#include "uk/userlib.hpp"
+
+namespace usk {
+namespace {
+
+// --- per-CPU primitive ------------------------------------------------------
+
+TEST(SmpPerCpuTest, ThreadsGetDistinctSlots) {
+  constexpr int kThreads = 8;
+  base::PerCpu<std::uint64_t> counters;
+  std::vector<std::thread> ts;
+  for (int i = 0; i < kThreads; ++i) {
+    ts.emplace_back([&] {
+      for (int n = 0; n < 1000; ++n) ++counters.local();
+    });
+  }
+  for (auto& t : ts) t.join();
+  std::uint64_t sum = 0;
+  counters.for_each([&](std::uint64_t v) { sum += v; });
+  EXPECT_EQ(sum, kThreads * 1000u);
+}
+
+TEST(SmpPerCpuTest, SlotsAreCacheLineAligned) {
+  base::PerCpu<std::uint32_t> pc;
+  auto a = reinterpret_cast<std::uintptr_t>(&pc.slot(0));
+  auto b = reinterpret_cast<std::uintptr_t>(&pc.slot(1));
+  EXPECT_GE(b - a, 64u);
+}
+
+// --- sharded dcache ---------------------------------------------------------
+
+TEST(SmpDcacheTest, ShardsPartitionTheNamespace) {
+  fs::Dcache dc(1024, 16);
+  EXPECT_EQ(dc.shard_count(), 16u);
+  EXPECT_EQ(dc.shard_capacity(), 64u);
+  for (int i = 0; i < 500; ++i) {
+    dc.insert(1, "f" + std::to_string(i), 100 + i);
+  }
+  std::size_t total = 0;
+  std::size_t populated = 0;
+  for (std::size_t s = 0; s < dc.shard_count(); ++s) {
+    std::size_t n = dc.shard_size(s);
+    EXPECT_LE(n, dc.shard_capacity());
+    total += n;
+    if (n > 0) ++populated;
+  }
+  EXPECT_EQ(total, dc.size());
+  // One hot directory must spread across shards (keys hash the name too).
+  EXPECT_GT(populated, 8u);
+}
+
+TEST(SmpDcacheTest, ConcurrentMixedOperationsKeepInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 4000;
+  constexpr std::size_t kCapacity = 512;
+  fs::Dcache dc(kCapacity, 16);
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      std::uint32_t x = 0x243F6A88u + static_cast<std::uint32_t>(t);
+      for (int i = 0; i < kIters; ++i) {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        fs::InodeNum parent = 1 + (x % 4);
+        std::string name = "n" + std::to_string(x % 200);
+        switch (x % 10) {
+          case 0:
+            dc.invalidate(parent, name);
+            break;
+          case 1:
+            dc.invalidate_dir(parent);
+            break;
+          default:
+            if (dc.lookup(parent, name) == fs::kInvalidInode) {
+              dc.insert(parent, name, 1000 + (x % 200));
+            }
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+
+  // Per-shard LRU capacity is never exceeded, merged stats are coherent.
+  for (std::size_t s = 0; s < dc.shard_count(); ++s) {
+    EXPECT_LE(dc.shard_size(s), dc.shard_capacity());
+  }
+  fs::DcacheStats st = dc.stats();
+  EXPECT_GT(st.lookups, 0u);
+  EXPECT_GE(st.lookups, st.hits);
+  EXPECT_GT(dc.lock_acquisitions(), 0u);
+  // Post-condition sanity: the cache still resolves what we insert.
+  dc.insert(1, "post", 42);
+  EXPECT_EQ(dc.lookup(1, "post"), 42u);
+}
+
+// Reference model of the seed's global-lock dcache (global LRU, one map).
+// The sharded implementation with shards == 1 must match it operation for
+// operation -- that is the configuration bench_evmon uses for E6.
+class ReferenceDcache {
+ public:
+  explicit ReferenceDcache(std::size_t capacity) : capacity_(capacity) {}
+
+  fs::InodeNum lookup(fs::InodeNum parent, const std::string& name) {
+    auto it = map_.find({parent, name});
+    if (it == map_.end()) return fs::kInvalidInode;
+    lru_.splice(lru_.begin(), lru_, it->second.second);
+    return it->second.first;
+  }
+  void insert(fs::InodeNum parent, const std::string& name,
+              fs::InodeNum child) {
+    Key k{parent, name};
+    auto it = map_.find(k);
+    if (it != map_.end()) {
+      it->second.first = child;
+      lru_.splice(lru_.begin(), lru_, it->second.second);
+      return;
+    }
+    if (map_.size() >= capacity_) {
+      map_.erase(lru_.back());
+      lru_.pop_back();
+    }
+    lru_.push_front(k);
+    map_[k] = {child, lru_.begin()};
+  }
+  void invalidate(fs::InodeNum parent, const std::string& name) {
+    auto it = map_.find({parent, name});
+    if (it == map_.end()) return;
+    lru_.erase(it->second.second);
+    map_.erase(it);
+  }
+  void invalidate_dir(fs::InodeNum parent) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (it->first.first == parent) {
+        lru_.erase(it->second.second);
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+ private:
+  using Key = std::pair<fs::InodeNum, std::string>;
+  std::size_t capacity_;
+  std::map<Key, std::pair<fs::InodeNum, std::list<Key>::iterator>> map_;
+  std::list<Key> lru_;
+};
+
+TEST(SmpDcacheTest, OneShardMatchesGlobalLockReferenceModel) {
+  constexpr std::size_t kCapacity = 32;
+  fs::Dcache dc(kCapacity, 1);
+  ASSERT_EQ(dc.shard_count(), 1u);
+  ASSERT_EQ(dc.shard_capacity(), kCapacity);
+  ReferenceDcache ref(kCapacity);
+
+  std::uint32_t x = 0xB7E15162u;
+  for (int i = 0; i < 20000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 17;
+    x ^= x << 5;
+    fs::InodeNum parent = 1 + (x % 3);
+    std::string name = "e" + std::to_string(x % 60);
+    switch (x % 12) {
+      case 0:
+        dc.invalidate(parent, name);
+        ref.invalidate(parent, name);
+        break;
+      case 1:
+        dc.invalidate_dir(parent);
+        ref.invalidate_dir(parent);
+        break;
+      case 2:
+      case 3: {
+        fs::InodeNum child = 500 + (x % 97);
+        dc.insert(parent, name, child);
+        ref.insert(parent, name, child);
+        break;
+      }
+      default:
+        // Lookups must agree AND touch the LRU identically.
+        ASSERT_EQ(dc.lookup(parent, name), ref.lookup(parent, name))
+            << "step " << i;
+    }
+    ASSERT_EQ(dc.size(), ref.size()) << "step " << i;
+  }
+}
+
+// --- per-CPU kmalloc --------------------------------------------------------
+
+TEST(SmpKmallocTest, PerCpuMagazinesNeverHandOutAChunkTwice) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 3000;
+  vm::PhysMem phys(1 << 12);
+  mm::Kmalloc km(phys, /*per_cpu_cache=*/true);
+  ASSERT_TRUE(km.per_cpu_cache());
+
+  // Tag-based double-hand-out detection: every live 64-byte chunk carries
+  // a unique tag; a collision on free means the allocator handed the same
+  // chunk to two owners.
+  std::atomic<std::uint64_t> next_tag{1};
+  std::atomic<bool> corrupt{false};
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&] {
+      std::vector<std::pair<mm::BufferHandle, std::uint64_t>> held;
+      held.reserve(64);
+      for (int i = 0; i < kIters; ++i) {
+        mm::BufferHandle h = km.alloc(48, __FILE__, __LINE__);
+        ASSERT_NE(h.raw, nullptr);
+        std::uint64_t tag = next_tag.fetch_add(1, std::memory_order_relaxed);
+        std::memcpy(h.raw, &tag, sizeof(tag));
+        held.emplace_back(h, tag);
+        if (held.size() >= 48) {
+          for (auto& [hh, tg] : held) {
+            std::uint64_t seen;
+            std::memcpy(&seen, hh.raw, sizeof(seen));
+            if (seen != tg) corrupt.store(true, std::memory_order_relaxed);
+            km.free(hh);
+          }
+          held.clear();
+        }
+      }
+      for (auto& [hh, tg] : held) {
+        std::uint64_t seen;
+        std::memcpy(&seen, hh.raw, sizeof(seen));
+        if (seen != tg) corrupt.store(true, std::memory_order_relaxed);
+        km.free(hh);
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_FALSE(corrupt.load()) << "a chunk was live in two owners at once";
+
+  const mm::AllocatorStats& st = km.stats();
+  EXPECT_EQ(st.alloc_calls, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(st.free_calls, static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(st.outstanding_allocs, 0u);
+  EXPECT_EQ(st.outstanding_bytes, 0u);
+}
+
+TEST(SmpKmallocTest, CrossCpuFreeKeepsMergedStatsConsistent) {
+  vm::PhysMem phys(1 << 10);
+  mm::Kmalloc km(phys, /*per_cpu_cache=*/true);
+
+  // Allocate on this thread, free on another: the freeing CPU's signed
+  // deltas must cancel the allocating CPU's in the merged view.
+  std::vector<mm::BufferHandle> hs;
+  for (int i = 0; i < 200; ++i) {
+    hs.push_back(km.alloc(80, __FILE__, __LINE__));
+    ASSERT_NE(hs.back().raw, nullptr);
+  }
+  std::thread other([&] {
+    for (auto& h : hs) km.free(h);
+  });
+  other.join();
+
+  const mm::AllocatorStats& st = km.stats();
+  EXPECT_EQ(st.alloc_calls, 200u);
+  EXPECT_EQ(st.free_calls, 200u);
+  EXPECT_EQ(st.outstanding_allocs, 0u);
+  EXPECT_EQ(st.outstanding_bytes, 0u);
+  EXPECT_DOUBLE_EQ(st.mean_request_size(), 80.0);
+  EXPECT_GT(km.cached_chunks(), 0u);  // the magazines kept the chunks
+}
+
+TEST(SmpKmallocTest, LargeAllocationsBypassMagazines) {
+  vm::PhysMem phys(1 << 10);
+  mm::Kmalloc km(phys, /*per_cpu_cache=*/true);
+  mm::BufferHandle big = km.alloc(3 * vm::kPageSize, __FILE__, __LINE__);
+  ASSERT_NE(big.raw, nullptr);
+  EXPECT_EQ(km.stats().outstanding_pages, 3u);
+  km.free(big);
+  EXPECT_EQ(km.stats().outstanding_pages, 0u);
+  EXPECT_EQ(km.stats().outstanding_allocs, 0u);
+}
+
+// --- parallel syscall dispatch ----------------------------------------------
+
+TEST(SmpDispatchTest, ParallelSyscallsKeepGlobalAccounting) {
+  constexpr int kThreads = 4;
+  constexpr int kCallsPerThread = 400;
+  fs::MemFs fs;
+  uk::KernelConfig cfg;
+  cfg.kmalloc_per_cpu_cache = true;  // exercise the SMP build end to end
+  uk::Kernel kernel(fs, cfg);
+  fs.set_cost_hook(kernel.charge_hook());
+
+  uk::Proc setup(kernel, "setup");
+  ASSERT_EQ(setup.mkdir("/d"), 0);
+  std::vector<std::unique_ptr<uk::Proc>> procs;
+  for (int t = 0; t < kThreads; ++t) {
+    procs.push_back(
+        std::make_unique<uk::Proc>(kernel, "w" + std::to_string(t)));
+    char path[32];
+    std::snprintf(path, sizeof(path), "/d/f%d", t);
+    int fd = setup.open(path, fs::kOWrOnly | fs::kOCreat);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(setup.close(fd), 0);
+  }
+
+  std::uint64_t crossings0 = kernel.boundary().stats().crossings;
+  kernel.audit().enable();
+  kernel.audit().clear();
+
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&, t] {
+      char path[32];
+      std::snprintf(path, sizeof(path), "/d/f%d", t);
+      fs::StatBuf st;
+      char buf[64];
+      std::memset(buf, 'x', sizeof(buf));
+      for (int i = 0; i < kCallsPerThread; ++i) {
+        switch (i % 4) {
+          case 0:
+            EXPECT_EQ(procs[t]->stat(path, &st), 0);
+            break;
+          case 1: {
+            int fd = procs[t]->open(path, fs::kORdWr);
+            EXPECT_GE(fd, 0);
+            EXPECT_EQ(procs[t]->close(fd), 0);
+            break;
+          }
+          case 2: {
+            int fd = procs[t]->open(path, fs::kOWrOnly);
+            EXPECT_GE(fd, 0);
+            EXPECT_EQ(procs[t]->write(fd, buf, sizeof(buf)),
+                      static_cast<SysRet>(sizeof(buf)));
+            EXPECT_EQ(procs[t]->close(fd), 0);
+            break;
+          }
+          default:
+            EXPECT_EQ(procs[t]->getpid(),
+                      static_cast<SysRet>(procs[t]->task().pid()));
+        }
+      }
+    });
+  }
+  for (auto& t : ts) t.join();
+  kernel.audit().disable();
+
+  // Per-thread syscall mix, 7 calls per 4 iterations: stat(1) +
+  // open,close(2) + open,write,close(3) + getpid(1).
+  constexpr std::uint64_t kCallsTotal =
+      static_cast<std::uint64_t>(kThreads) * kCallsPerThread * 7 / 4;
+  EXPECT_EQ(kernel.boundary().stats().crossings - crossings0, kCallsTotal);
+  EXPECT_EQ(kernel.audit().records().size(), kCallsTotal);
+
+  // Audit byte deltas are per call and per task: every write record
+  // carries exactly its own copied bytes (64 payload per write).
+  std::uint64_t write_records = 0;
+  for (const auto& r : kernel.audit().records()) {
+    if (r.nr == uk::Sys::kWrite) {
+      ++write_records;
+      EXPECT_EQ(r.bytes_in, 64u);
+      EXPECT_EQ(r.bytes_out, 0u);
+    }
+  }
+  EXPECT_EQ(write_records,
+            static_cast<std::uint64_t>(kThreads) * kCallsPerThread / 4);
+
+  // Each task saw exactly its own calls.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(procs[t]->task().syscalls,
+              static_cast<std::uint64_t>(kCallsPerThread) * 7 / 4);
+  }
+}
+
+}  // namespace
+}  // namespace usk

@@ -56,12 +56,14 @@ TEST_F(WorkloadTest, PostMarkHammersTheDcacheLock) {
   PostMarkConfig cfg;
   cfg.file_count = 50;
   cfg.transactions = 200;
-  std::uint64_t before = kernel_.vfs().dcache().lock().acquisitions();
+  std::uint64_t before = kernel_.vfs().dcache().lock_acquisitions();
   PostMark pm(cfg);
   pm.run(proc_);
   // The paper measured ~8.8k dcache_lock hits/second under PostMark; the
   // essential property is a large hit count driven by namespace ops.
-  EXPECT_GT(kernel_.vfs().dcache().lock().acquisitions() - before, 1000u);
+  // lock_acquisitions() sums across shards, so it measures the same
+  // thing whether the dcache is sharded or the paper's single lock.
+  EXPECT_GT(kernel_.vfs().dcache().lock_acquisitions() - before, 1000u);
 }
 
 TEST_F(WorkloadTest, AmUtilsBuildProducesObjects) {

@@ -7,6 +7,7 @@
 // the relative costs behind E1-E9 can be independently checked.
 #include <benchmark/benchmark.h>
 
+#include "bench/common.hpp"
 #include "cosy/compiler.hpp"
 #include "cosy/exec.hpp"
 #include "uk/userlib.hpp"
@@ -112,6 +113,37 @@ void BM_CosyReadLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_CosyReadLoop);
 
+/// ConsoleReporter that additionally forwards every per-iteration run to
+/// the shared USK_BENCH_JSON sink, so google-benchmark binaries emit the
+/// same JSON-lines records as the hand-rolled table benches.
+class JsonForwardReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardReporter(bench::JsonWriter& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& r : runs) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const double elapsed = r.real_accumulated_time;
+      const double ops =
+          elapsed > 0 ? static_cast<double>(r.iterations) / elapsed : 0.0;
+      json_.record(r.benchmark_name(), static_cast<int>(r.threads), ops,
+                   elapsed);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench::JsonWriter& json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonWriter json("bench_boundary");
+  JsonForwardReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

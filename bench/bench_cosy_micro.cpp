@@ -43,7 +43,7 @@ struct Row {
   const char* cosy_src;  // compiled by the Cosy compiler
 };
 
-void report(Fixture& f, const Row& row) {
+void report(Fixture& f, const Row& row, bench::JsonWriter& json) {
   // Classic.
   std::uint64_t k0 = f.proc.task().times().kernel;
   double classic_wall = bench::time_once([&] { row.classic(f); });
@@ -63,6 +63,13 @@ void report(Fixture& f, const Row& row) {
   });
   std::uint64_t cosy_units = f.proc.task().times().kernel - c0;
 
+  // ops_per_sec is repurposed as kernel work units (the paper's metric);
+  // wall time rides along in elapsed_s.
+  json.record(std::string("classic/") + row.name, 1,
+              static_cast<double>(classic_units), classic_wall);
+  json.record(std::string("cosy/") + row.name, 1,
+              static_cast<double>(cosy_units), cosy_wall);
+
   std::printf("%-24s %12" PRIu64 " %12" PRIu64 " %9.1f%% %9.1f%%\n",
               row.name, classic_units, cosy_units,
               bench::improvement_pct(static_cast<double>(classic_units),
@@ -75,6 +82,7 @@ void report(Fixture& f, const Row& row) {
 int main() {
   bench::print_title("E3", "Cosy micro-benchmarks (paper: individual system "
                            "calls sped up 40-90%)");
+  bench::JsonWriter json("bench_cosy_micro");
   std::printf("%-24s %12s %12s %10s %10s\n", "pattern", "classic(u)",
               "cosy(u)", "units%", "wall%");
 
@@ -178,7 +186,7 @@ int main() {
 
   for (auto& row : rows) {
     Fixture f;  // fresh kernel per pattern for clean accounting
-    report(f, row);
+    report(f, row, json);
   }
   usk::bench::print_note("units = kernel work units charged to the task; "
                          "one compound replaces N boundary crossings");

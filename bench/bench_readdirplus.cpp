@@ -88,6 +88,7 @@ Times run_plus(uk::Kernel& kernel, uk::Proc& proc, const char* dir,
 int main() {
   bench::print_title("E1", "readdirplus vs readdir+stat (paper: elapsed "
                            "60.6-63.8%, system 55.7-59.3%, user 82.8-84.0%)");
+  bench::JsonWriter json("bench_readdirplus");
   std::printf("%9s %12s %12s %10s %10s %10s\n", "files", "classic(s)",
               "rdplus(s)", "elapsed%", "system%", "user%");
 
@@ -108,6 +109,12 @@ int main() {
 
     Times classic = run_classic(kernel, proc, "/dir", files);
     Times plus = run_plus(kernel, proc, "/dir", files);
+
+    // files/second processed by each strategy, at this directory size.
+    json.record("classic/" + std::to_string(files), 1,
+                static_cast<double>(files) / classic.elapsed, classic.elapsed);
+    json.record("readdirplus/" + std::to_string(files), 1,
+                static_cast<double>(files) / plus.elapsed, plus.elapsed);
 
     std::printf("%9zu %12.4f %12.4f %9.1f%% %9.1f%% %9.1f%%\n", files,
                 classic.elapsed, plus.elapsed,

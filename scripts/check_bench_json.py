@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Validate a USK_BENCH_JSON results file (JSON-lines).
+
+Every bench binary appends one record per measurement when USK_BENCH_JSON
+is set:
+
+    USK_BENCH_JSON=/tmp/bench.jsonl ./build/bench/bench_readdirplus
+    scripts/check_bench_json.py /tmp/bench.jsonl
+
+The checker enforces the shared schema so plotting/regression scripts can
+rely on it:
+
+  - each non-empty line is a JSON object
+  - required keys: bench (str), config (str), threads (int >= 1),
+    ops_per_sec (number >= 0), elapsed_s (number >= 0)
+  - no unknown keys (catches format drift in one writer)
+
+Exit status: 0 if the whole file validates, 1 otherwise (each bad line is
+reported). Stdlib only.
+"""
+
+import json
+import sys
+
+REQUIRED = {
+    "bench": str,
+    "config": str,
+    "threads": int,
+    "ops_per_sec": (int, float),
+    "elapsed_s": (int, float),
+}
+
+
+def check_record(obj, lineno, errors):
+    if not isinstance(obj, dict):
+        errors.append(f"line {lineno}: not a JSON object")
+        return
+    for key, typ in REQUIRED.items():
+        if key not in obj:
+            errors.append(f"line {lineno}: missing key '{key}'")
+            continue
+        val = obj[key]
+        # bool is an int subclass; reject it explicitly.
+        if isinstance(val, bool) or not isinstance(val, typ):
+            errors.append(
+                f"line {lineno}: key '{key}' has type "
+                f"{type(val).__name__}, expected {typ}"
+            )
+    unknown = set(obj) - set(REQUIRED)
+    if unknown:
+        errors.append(f"line {lineno}: unknown keys {sorted(unknown)}")
+    if isinstance(obj.get("threads"), int) and obj["threads"] < 1:
+        errors.append(f"line {lineno}: threads must be >= 1")
+    for key in ("ops_per_sec", "elapsed_s"):
+        val = obj.get(key)
+        if isinstance(val, (int, float)) and not isinstance(val, bool):
+            if val < 0:
+                errors.append(f"line {lineno}: {key} must be >= 0")
+
+
+def main(argv):
+    if len(argv) != 2:
+        print(f"usage: {argv[0]} <bench.jsonl>", file=sys.stderr)
+        return 2
+    errors = []
+    records = 0
+    benches = set()
+    try:
+        with open(argv[1], encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except json.JSONDecodeError as e:
+                    errors.append(f"line {lineno}: invalid JSON: {e}")
+                    continue
+                records += 1
+                check_record(obj, lineno, errors)
+                if isinstance(obj, dict) and isinstance(obj.get("bench"), str):
+                    benches.add(obj["bench"])
+    except OSError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    if errors:
+        print(f"FAIL: {len(errors)} problem(s) in {records} record(s)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {records} record(s) from {len(benches)} bench(es)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

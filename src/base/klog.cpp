@@ -6,6 +6,10 @@
 namespace usk::base {
 
 void KLog::log(LogLevel level, std::string message) {
+  if (level < min_level()) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   std::lock_guard lk(mu_);
   ring_.push_back(LogEntry{level, std::move(message), seq_++});
   if (ring_.size() > capacity_) ring_.pop_front();

@@ -6,7 +6,10 @@
 // on exactly what was reported.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -36,6 +39,19 @@ class KLog {
 
   void log(LogLevel level, std::string message);
 
+  /// Runtime severity floor (the "console loglevel"): messages below it
+  /// are counted in suppressed() but never stored.
+  void set_min_level(LogLevel level) {
+    min_level_.store(static_cast<int>(level), std::memory_order_relaxed);
+  }
+  [[nodiscard]] LogLevel min_level() const {
+    return static_cast<LogLevel>(min_level_.load(std::memory_order_relaxed));
+  }
+  /// Messages rejected by the runtime severity floor.
+  [[nodiscard]] std::uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
   /// Snapshot of current entries, oldest first.
   [[nodiscard]] std::vector<LogEntry> entries() const;
 
@@ -55,6 +71,64 @@ class KLog {
   std::size_t capacity_;
   std::uint64_t seq_ = 0;
   std::deque<LogEntry> ring_;
+  std::atomic<int> min_level_{static_cast<int>(LogLevel::kDebug)};
+  std::atomic<std::uint64_t> suppressed_{0};
+};
+
+/// Fixed-window rate limiter for log sites (printk_ratelimit's policy):
+/// at most `burst` events per `interval`, excess suppressed and counted.
+/// take_report() hands back (and clears) the suppression count of
+/// *completed* windows so a site can log one "N suppressed" summary
+/// instead of N duplicates.
+class RateLimit {
+ public:
+  RateLimit(std::uint32_t burst, std::uint64_t interval_ns)
+      : burst_(burst), interval_ns_(interval_ns) {}
+
+  [[nodiscard]] bool allow() {
+    const std::uint64_t now = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+    std::lock_guard lk(mu_);
+    if (now - window_start_ >= interval_ns_) {
+      window_start_ = now;
+      report_ += window_suppressed_;
+      window_suppressed_ = 0;
+      used_ = 0;
+    }
+    if (used_ < burst_) {
+      ++used_;
+      return true;
+    }
+    ++window_suppressed_;
+    ++total_suppressed_;
+    return false;
+  }
+
+  /// Total events ever suppressed by this site.
+  [[nodiscard]] std::uint64_t suppressed() const {
+    std::lock_guard lk(mu_);
+    return total_suppressed_;
+  }
+
+  /// Suppression count accumulated by completed windows; clears it.
+  [[nodiscard]] std::uint64_t take_report() {
+    std::lock_guard lk(mu_);
+    std::uint64_t r = report_;
+    report_ = 0;
+    return r;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::uint32_t burst_;
+  std::uint64_t interval_ns_;
+  std::uint64_t window_start_ = 0;
+  std::uint32_t used_ = 0;
+  std::uint64_t window_suppressed_ = 0;
+  std::uint64_t total_suppressed_ = 0;
+  std::uint64_t report_ = 0;
 };
 
 /// Process-wide kernel log instance (the simulated machine has one syslog).
@@ -63,3 +137,38 @@ KLog& klog();
 void klogf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
 
 }  // namespace usk::base
+
+/// Compile-time severity floor: USK_KLOG sites strictly below this level
+/// vanish entirely (no format strings, no call). 0 = kDebug keeps all.
+#ifndef USK_KLOG_MIN_LEVEL
+#define USK_KLOG_MIN_LEVEL 0
+#endif
+
+/// klogf with a compile-out threshold. `level` must be a LogLevel
+/// constant (e.g. ::usk::base::LogLevel::kWarn).
+#define USK_KLOG(level, ...)                                   \
+  do {                                                         \
+    if constexpr (static_cast<int>(level) >=                   \
+                  USK_KLOG_MIN_LEVEL) {                        \
+      ::usk::base::klogf((level), __VA_ARGS__);                \
+    }                                                          \
+  } while (0)
+
+/// Rate-limited USK_KLOG: this site logs at most `burst` messages per
+/// second; a completed window's suppressions surface as one summary line.
+#define USK_KLOG_RATELIMIT(level, burst, ...)                          \
+  do {                                                                 \
+    if constexpr (static_cast<int>(level) >= USK_KLOG_MIN_LEVEL) {     \
+      static ::usk::base::RateLimit _usk_klog_rl{(burst),              \
+                                                 1'000'000'000ull};    \
+      if (_usk_klog_rl.allow()) {                                      \
+        if (std::uint64_t _usk_klog_rs = _usk_klog_rl.take_report();   \
+            _usk_klog_rs != 0) {                                       \
+          ::usk::base::klogf(                                          \
+              (level), "klog: %llu messages suppressed at this site",  \
+              static_cast<unsigned long long>(_usk_klog_rs));          \
+        }                                                              \
+        ::usk::base::klogf((level), __VA_ARGS__);                      \
+      }                                                                \
+    }                                                                  \
+  } while (0)

@@ -1,0 +1,118 @@
+// Lock-free bounded MPMC ring, generalised from the event-monitor ring so
+// every kernel-to-user data stream (evmon events, ktrace records) shares
+// one verified implementation.
+//
+// Vyukov-style bounded queue with per-slot sequence numbers. Producers
+// never block; when the ring is full the element is dropped and counted,
+// which is the only interrupt-safe policy (paper §3.3: "Because the ring
+// buffer is lock-free, we can instrument code that is invoked during
+// interrupt handlers without fear that the interrupt handler will block").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace usk::base {
+
+template <class T>
+class MpmcRing {
+ public:
+  /// `capacity` must be a power of two.
+  explicit MpmcRing(std::size_t capacity = 1 << 14)
+      : mask_(capacity - 1), slots_(std::make_unique<Slot[]>(capacity)) {
+    for (std::size_t i = 0; i < capacity; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpmcRing(const MpmcRing&) = delete;
+  MpmcRing& operator=(const MpmcRing&) = delete;
+
+  /// Producer side (any context, never blocks). Returns false on full.
+  bool push(const T& e) {
+    std::uint64_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      std::int64_t diff =
+          static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = e;
+          slot.seq.store(pos + 1, std::memory_order_release);
+          pushed_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      } else if (diff < 0) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return false;  // full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Consumer side. Returns false when empty.
+  bool pop(T* out) {
+    std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[pos & mask_];
+      std::uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      std::int64_t diff = static_cast<std::int64_t>(seq) -
+                          static_cast<std::int64_t>(pos + 1);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          *out = slot.value;
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          popped_.fetch_add(1, std::memory_order_relaxed);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Bulk drain (what libkernevents uses to amortize crossings).
+  std::size_t pop_bulk(T* out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max && pop(&out[n])) ++n;
+    return n;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  [[nodiscard]] std::uint64_t pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t popped() const {
+    return popped_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool empty() const {
+    return popped_.load(std::memory_order_relaxed) ==
+           pushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    T value{};
+  };
+
+  const std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  alignas(64) std::atomic<std::uint64_t> tail_{0};
+  alignas(64) std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> popped_{0};
+};
+
+}  // namespace usk::base

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/klog.hpp"
+#include "trace/tracepoint.hpp"
 
 namespace usk::cosy {
 
@@ -15,6 +16,8 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
                                   SharedBuffer& shared) {
   CosyResult out;
   uk::Kernel::Scope scope(k_, p, uk::Sys::kCosy);
+  USK_TRACE_LATENCY("cosy", "execute");
+  USK_TRACEPOINT("cosy", "execute", c.ops.size());
   ++stats_.compounds;
 
   ValidationResult v = validate(c, shared.size());

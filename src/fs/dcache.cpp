@@ -1,20 +1,35 @@
 #include "fs/dcache.hpp"
 
+#include "trace/tracepoint.hpp"
+
 namespace usk::fs {
 
 InodeNum Dcache::lookup(InodeNum parent, std::string_view name,
                         std::uint32_t fs_id) {
+  USK_TRACE_LATENCY("dcache", "lookup");
   Key key{fs_id, parent, std::string(name)};
   std::size_t si = shard_of(key);
   Shard& s = shards_[si];
-  USK_SPIN_GUARD(locks_.at(si));
-  if (hold_work_ != 0) work_.alu(hold_work_);  // chain walk under the lock
-  ++s.stats.lookups;
-  auto it = s.map.find(key);
-  if (it == s.map.end()) return kInvalidInode;
-  ++s.stats.hits;
-  touch(s, it->first, it->second);
-  return it->second.child;
+  InodeNum found = kInvalidInode;
+  {
+    USK_SPIN_GUARD(locks_.at(si));
+    if (hold_work_ != 0) work_.alu(hold_work_);  // chain walk under the lock
+    ++s.stats.lookups;
+    auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      ++s.stats.hits;
+      touch(s, it->first, it->second);
+      found = it->second.child;
+    }
+  }
+  // Emit outside the shard lock so enabled tracing never stretches the
+  // paper's instrumented critical section.
+  if (found != kInvalidInode) {
+    USK_TRACEPOINT("dcache", "hit", parent, found);
+  } else {
+    USK_TRACEPOINT("dcache", "miss", parent);
+  }
+  return found;
 }
 
 void Dcache::insert(InodeNum parent, std::string_view name, InodeNum child,

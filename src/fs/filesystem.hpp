@@ -78,6 +78,14 @@ class FileSystem {
                                  v.begin() + static_cast<std::ptrdiff_t>(end));
   }
 
+  /// Hook invoked by the VFS when a file is opened (after the existence
+  /// and type checks pass). Synthetic filesystems (ProcFs) render their
+  /// content here; stored filesystems have nothing to do.
+  virtual Errno open_file(InodeNum ino) {
+    (void)ino;
+    return Errno::kOk;
+  }
+
   /// Flush pending state (journals). Default: nothing to do.
   virtual Errno sync() { return Errno::kOk; }
 };

@@ -1,0 +1,89 @@
+// ProcFs: a read-mostly synthetic filesystem (the /proc analogue).
+//
+// Nothing here is stored data: every regular file has a renderer that
+// generates its text when the file is opened (FileSystem::open_file), so
+// user tasks inspect the live kernel through ordinary open/read syscalls
+// -- syscalls that are themselves traced and histogrammed, closing the
+// observability loop. Files stat with size 0, exactly like the real
+// /proc; readers loop until read() returns 0.
+//
+// Control files (e.g. /proc/trace/enable) additionally take a write
+// handler, making echo-into-proc the tracing UI. Namespace mutations
+// (create/unlink/rename/...) fail with EROFS: the tree is fixed at
+// registration time, before the filesystem is mounted.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "fs/filesystem.hpp"
+
+namespace usk::fs {
+
+class ProcFs final : public FileSystem {
+ public:
+  /// Generates a file's full text. Called on open (and on a read at
+  /// offset 0, so re-reads without re-open see fresh data).
+  using Renderer = std::function<std::string()>;
+  /// Consumes text written to a control file.
+  using WriteHandler = std::function<Errno(std::string_view)>;
+
+  ProcFs();
+
+  /// Register `path` (absolute within this filesystem, e.g.
+  /// "/trace/enable"), creating intermediate directories. Re-registering
+  /// a path replaces its handlers. Returns the file's inode.
+  InodeNum add_file(std::string_view path, Renderer render,
+                    WriteHandler on_write = nullptr);
+
+  /// Create a directory (and parents). Idempotent.
+  InodeNum add_dir(std::string_view path);
+
+  // --- FileSystem -----------------------------------------------------------
+  [[nodiscard]] InodeNum root() const override { return kRootIno; }
+  [[nodiscard]] const char* fstype() const override { return "procfs"; }
+
+  Result<InodeNum> lookup(InodeNum dir, std::string_view name) override;
+  Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
+                          std::uint32_t mode) override;
+  Errno unlink(InodeNum dir, std::string_view name) override;
+  Errno rmdir(InodeNum dir, std::string_view name) override;
+  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+               std::string_view dst_name) override;
+  Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
+                           std::span<std::byte> out) override;
+  Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
+                            std::span<const std::byte> in) override;
+  Errno truncate(InodeNum ino, std::uint64_t size) override;
+  Errno getattr(InodeNum ino, StatBuf* st) override;
+  Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
+  Errno open_file(InodeNum ino) override;
+
+ private:
+  static constexpr InodeNum kRootIno = 1;
+
+  struct Node {
+    FileType type = FileType::kRegular;
+    std::uint32_t mode = 0444;
+    Renderer render;
+    WriteHandler on_write;
+    std::string snapshot;  ///< last rendered text (served by read())
+    std::map<std::string, InodeNum, std::less<>> children;
+  };
+
+  Node* get(InodeNum ino);
+  /// Walk/create directories for `path`; returns (parent dir, leaf name).
+  std::pair<InodeNum, std::string> ensure_parents(std::string_view path);
+  void render_locked(InodeNum ino, Node& n);
+
+  mutable std::mutex mu_;
+  std::unordered_map<InodeNum, Node> nodes_;
+  InodeNum next_ino_ = 2;
+};
+
+}  // namespace usk::fs

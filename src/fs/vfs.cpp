@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/tracepoint.hpp"
+
 namespace usk::fs {
 
 // --- FdTable -------------------------------------------------------------------
@@ -149,6 +151,9 @@ Errno Vfs::unmount(std::string_view dir_path) {
 
 Result<int> Vfs::open(FdTable& fds, std::string_view path, int flags,
                       std::uint32_t mode) {
+  USK_TRACE_LATENCY("vfs", "open");
+  USK_TRACEPOINT("vfs", "open", path.size(),
+                 static_cast<std::uint64_t>(flags));
   ++vstats_.opens;
   Result<Loc> loc = resolve_loc(path);
   if (!loc) {
@@ -175,6 +180,12 @@ Result<int> Vfs::open(FdTable& fds, std::string_view path, int flags,
   if (st.type == FileType::kDirectory && (flags & kAccessMode) != kORdOnly) {
     return Errno::kEISDIR;
   }
+  if (st.type == FileType::kRegular) {
+    // Let the filesystem see the open: synthetic filesystems (ProcFs)
+    // render their content here.
+    Errno oe = loc.value().fs->open_file(loc.value().ino);
+    if (oe != Errno::kOk) return oe;
+  }
 
   OpenFile f;
   f.ino = loc.value().ino;
@@ -191,6 +202,8 @@ Errno Vfs::close(FdTable& fds, int fd) {
 }
 
 Result<std::size_t> Vfs::read(FdTable& fds, int fd, std::span<std::byte> out) {
+  USK_TRACE_LATENCY("vfs", "read");
+  USK_TRACEPOINT("vfs", "read", static_cast<std::uint64_t>(fd), out.size());
   ++vstats_.reads;
   OpenFile* f = fds.get(fd);
   if (f == nullptr) return Errno::kEBADF;
@@ -202,6 +215,8 @@ Result<std::size_t> Vfs::read(FdTable& fds, int fd, std::span<std::byte> out) {
 
 Result<std::size_t> Vfs::write(FdTable& fds, int fd,
                                std::span<const std::byte> in) {
+  USK_TRACE_LATENCY("vfs", "write");
+  USK_TRACEPOINT("vfs", "write", static_cast<std::uint64_t>(fd), in.size());
   ++vstats_.writes;
   OpenFile* f = fds.get(fd);
   if (f == nullptr) return Errno::kEBADF;
@@ -254,6 +269,8 @@ Errno Vfs::fstat(FdTable& fds, int fd, StatBuf* st) {
 }
 
 Errno Vfs::stat(std::string_view path, StatBuf* st) {
+  USK_TRACE_LATENCY("vfs", "stat");
+  USK_TRACEPOINT("vfs", "stat", path.size());
   ++vstats_.stats_;
   Result<Loc> loc = resolve_loc(path);
   if (!loc) return loc.error();

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "trace/tracepoint.hpp"
+
 namespace usk::mm {
 
 namespace {
@@ -37,11 +39,14 @@ int Kmalloc::class_index(std::size_t klass) {
 
 BufferHandle Kmalloc::alloc(std::size_t n, const char* /*file*/,
                             int /*line*/) {
+  USK_TRACE_LATENCY("mm", "kmalloc");
+  USK_TRACEPOINT("mm", "kmalloc_alloc", n);
   if (n == 0) n = 1;
   return per_cpu_ ? alloc_percpu(n) : alloc_legacy(n);
 }
 
 void Kmalloc::free(const BufferHandle& h) {
+  USK_TRACEPOINT("mm", "kmalloc_free", h.size);
   if (per_cpu_) {
     free_percpu(h);
   } else {

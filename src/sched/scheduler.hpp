@@ -22,6 +22,7 @@
 #include "base/klog.hpp"
 #include "base/percpu.hpp"
 #include "sched/task.hpp"
+#include "trace/tracepoint.hpp"
 
 namespace usk::sched {
 
@@ -81,15 +82,20 @@ class Scheduler {
   /// Force a schedule-out (e.g., the task blocked). Runs the watchdog.
   bool schedule_out(Task& t) {
     stats_.schedules.fetch_add(1, std::memory_order_relaxed);
+    USK_TRACEPOINT("sched", "schedule", t.pid());
     if (t.in_kernel() && t.over_kernel_budget()) {
       stats_.watchdog_kills.fetch_add(1, std::memory_order_relaxed);
+      USK_TRACEPOINT("sched", "watchdog_kill", t.pid());
       t.set_state(TaskState::kKilled);
-      base::klogf(base::LogLevel::kCrit,
-                  "watchdog: task %u (%s) exceeded kernel budget "
-                  "(%llu > %llu units); killed",
-                  t.pid(), t.name().c_str(),
-                  static_cast<unsigned long long>(t.kernel_time_this_visit()),
-                  static_cast<unsigned long long>(t.kernel_budget()));
+      // Rate-limited: a runaway workload can trip the watchdog thousands
+      // of times a second, and each kill is identical for diagnosis.
+      USK_KLOG_RATELIMIT(
+          base::LogLevel::kCrit, 32u,
+          "watchdog: task %u (%s) exceeded kernel budget "
+          "(%llu > %llu units); killed",
+          t.pid(), t.name().c_str(),
+          static_cast<unsigned long long>(t.kernel_time_this_visit()),
+          static_cast<unsigned long long>(t.kernel_budget()));
       return false;
     }
     return t.alive();

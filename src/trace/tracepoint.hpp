@@ -1,0 +1,70 @@
+// USK_TRACEPOINT: the instrumentation facade every subsystem uses.
+//
+//   USK_TRACEPOINT("vfs", "open");             // no payload
+//   USK_TRACEPOINT("mm", "kmalloc", size);     // one payload word
+//   USK_TRACEPOINT("syscall", "exit", nr, ret) // two payload words
+//
+// Disabled cost is ONE relaxed atomic load + a predicted branch; nothing
+// is computed, registered, or allocated until the first enabled hit, when
+// the function-local static interns the site with the tracer. This is the
+// kernel tracepoint discipline (static-branch-off by default) in portable
+// C++ clothes.
+//
+// USK_TRACE_LATENCY(subsys, name) drops an RAII timer into the enclosing
+// scope that records into the interned log2 histogram -- but only samples
+// the clock when tracing is enabled, so disabled cost is again one load.
+#pragma once
+
+#include <chrono>
+
+#include "trace/ktrace.hpp"
+
+#define USK_TRACE_CAT2_(a, b) a##b
+#define USK_TRACE_CAT_(a, b) USK_TRACE_CAT2_(a, b)
+
+#define USK_TRACEPOINT(subsys, name, ...)                              \
+  do {                                                                 \
+    if (::usk::trace::enabled()) [[unlikely]] {                        \
+      static const std::uint16_t _usk_tp_id =                          \
+          ::usk::trace::ktrace().register_site((subsys), (name));      \
+      ::usk::trace::ktrace().emit(_usk_tp_id __VA_OPT__(, )            \
+                                      __VA_ARGS__);                    \
+    }                                                                  \
+  } while (0)
+
+namespace usk::trace {
+
+/// Records scope duration into a histogram; samples the clock only while
+/// tracing is enabled so the disabled path stays branch-only.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram& h) : h_(h), armed_(enabled()) {
+    if (armed_) [[unlikely]] {
+      t0_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedLatency() {
+    if (armed_) [[unlikely]] {
+      h_.record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count()));
+    }
+  }
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+
+ private:
+  Histogram& h_;
+  bool armed_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace usk::trace
+
+#define USK_TRACE_LATENCY(subsys, name)                                    \
+  static ::usk::trace::Histogram& USK_TRACE_CAT_(_usk_lat_h, __LINE__) =   \
+      ::usk::trace::ktrace().op_hist((subsys), (name));                    \
+  ::usk::trace::ScopedLatency USK_TRACE_CAT_(_usk_lat_s, __LINE__) {       \
+    USK_TRACE_CAT_(_usk_lat_h, __LINE__)                                   \
+  }

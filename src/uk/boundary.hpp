@@ -18,6 +18,7 @@
 #include "base/percpu.hpp"
 #include "base/work.hpp"
 #include "sched/task.hpp"
+#include "trace/tracepoint.hpp"
 
 namespace usk::uk {
 
@@ -47,6 +48,7 @@ class Boundary {
   /// per-CPU so concurrent dispatchers (SMP mode) never bounce a shared
   /// cache line on the syscall hot path; stats() merges the slots.
   void enter_kernel(sched::Task& task) {
+    USK_TRACEPOINT("boundary", "enter");
     ++stats_.local().crossings;
     task.enter_kernel();
     engine_.alu(model_.crossing_alu);
@@ -63,6 +65,7 @@ class Boundary {
 
   std::size_t copy_from_user(sched::Task& task, void* kdst, const void* usrc,
                              std::size_t n) {
+    USK_TRACEPOINT("boundary", "copy_from_user", n);
     BoundaryStats& s = stats_.local();
     ++s.copies_from_user;
     s.bytes_from_user += n;
@@ -74,6 +77,7 @@ class Boundary {
 
   std::size_t copy_to_user(sched::Task& task, void* udst, const void* ksrc,
                            std::size_t n) {
+    USK_TRACEPOINT("boundary", "copy_to_user", n);
     BoundaryStats& s = stats_.local();
     ++s.copies_to_user;
     s.bytes_to_user += n;

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fs/procfs.hpp"
+#include "trace/tracepoint.hpp"
+#include "uk/kproc.hpp"
+
 namespace usk::uk {
 
 Kernel::Kernel(fs::FileSystem& rootfs, KernelConfig cfg)
@@ -13,6 +17,20 @@ Kernel::Kernel(fs::FileSystem& rootfs, KernelConfig cfg)
       sched_(cfg.sched_quantum),
       boundary_(engine_, cfg.boundary),
       vfs_(rootfs, cfg.dcache_capacity, cfg.dcache_shards) {}
+
+Kernel::~Kernel() = default;
+
+fs::ProcFs& Kernel::mount_procfs() {
+  std::lock_guard lk(spawn_mu_);
+  if (!procfs_) {
+    procfs_ = std::make_unique<fs::ProcFs>();
+    register_kernel_proc(*this, *procfs_);
+    // EEXIST is fine: the root filesystem may already have a /proc dir.
+    vfs_.mkdir("/proc", 0555);
+    vfs_.mount("/proc", *procfs_);
+  }
+  return *procfs_;
+}
 
 Process& Kernel::spawn(std::string name) {
   sched::Task& t = sched_.spawn(std::move(name));
@@ -29,6 +47,8 @@ Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
   // tasks dispatch concurrently on sibling CPUs.
   in0_ = p_.task.bytes_from_user;
   out0_ = p_.task.bytes_to_user;
+  trace::set_current_pid(p_.task.pid());
+  USK_TRACEPOINT("syscall", "enter", static_cast<std::uint64_t>(nr));
   k_.boundary_.enter_kernel(p_.task);
   ++p_.task.syscalls;
   k_.sched_.set_current(p_.task);
@@ -36,10 +56,16 @@ Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
 
 Kernel::Scope::~Scope() {
   k_.boundary_.exit_kernel(p_.task);
-  p_.task.kernel_wall_ns += static_cast<std::uint64_t>(
+  const std::uint64_t wall_ns = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - wall0_)
           .count());
+  p_.task.kernel_wall_ns += wall_ns;
+  // Always-on log2 latency histogram (the wall time is already in hand,
+  // so this is one relaxed increment -- see trace::Ktrace).
+  trace::ktrace().record_syscall(static_cast<std::uint16_t>(nr_), wall_ns);
+  USK_TRACEPOINT("syscall", "exit", static_cast<std::uint64_t>(nr_),
+                 static_cast<std::uint64_t>(ret_));
   AuditRecord r;
   r.pid = p_.task.pid();
   r.nr = nr_;

@@ -26,6 +26,10 @@
 #include "vm/address_space.hpp"
 #include "vm/phys.hpp"
 
+namespace usk::fs {
+class ProcFs;
+}
+
 namespace usk::uk {
 
 struct KernelConfig {
@@ -69,6 +73,7 @@ struct DirentPlusHdr {
 class Kernel {
  public:
   explicit Kernel(fs::FileSystem& rootfs, KernelConfig cfg = KernelConfig{});
+  ~Kernel();  // defined in kernel.cpp where ProcFs is complete
 
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -87,6 +92,12 @@ class Kernel {
   [[nodiscard]] vm::AddressSpace& kernel_as() { return kernel_as_; }
   [[nodiscard]] mm::Kmalloc& kmalloc() { return kmalloc_; }
   [[nodiscard]] mm::Vmalloc& vmalloc() { return vmalloc_; }
+
+  /// Create (once) a kernel-backed ProcFs -- see uk/kproc.hpp for the
+  /// file tree -- make the /proc directory on the root filesystem, and
+  /// mount it there. Idempotent; returns the filesystem so callers can
+  /// register extra entries.
+  fs::ProcFs& mount_procfs();
 
   /// Hook suitable for fs::MemFs::set_cost_hook: executes the units on the
   /// kernel work engine and charges them to the current task's kernel time.
@@ -163,6 +174,7 @@ class Kernel {
   Boundary boundary_;
   Audit audit_;
   fs::Vfs vfs_;
+  std::unique_ptr<fs::ProcFs> procfs_;  ///< created by mount_procfs()
   std::mutex spawn_mu_;
   std::vector<std::unique_ptr<Process>> procs_;
 };

@@ -1,0 +1,197 @@
+#include "uk/kproc.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "fs/vfs.hpp"
+#include "mm/kmalloc.hpp"
+#include "trace/ktrace.hpp"
+#include "uk/audit.hpp"
+#include "uk/kernel.hpp"
+
+namespace usk::uk {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, static_cast<std::size_t>(n));
+}
+
+const char* state_name(sched::TaskState s) {
+  switch (s) {
+    case sched::TaskState::kRunnable: return "runnable";
+    case sched::TaskState::kRunning: return "running";
+    case sched::TaskState::kExited: return "exited";
+    case sched::TaskState::kKilled: return "killed";
+  }
+  return "?";
+}
+
+/// One histogram as text: header line, then one `[lo, hi) count #bar`
+/// line per occupied bucket (the bpftrace / bcc "hist()" rendering).
+void append_hist(std::string& out, const trace::HistogramSnapshot& h) {
+  appendf(out,
+          "count %" PRIu64 " avg_ns %" PRIu64 " p50_ns %" PRIu64
+          " p99_ns %" PRIu64 " max_ns %" PRIu64 "\n",
+          h.count, h.avg(), h.percentile(50.0), h.percentile(99.0), h.max);
+  std::uint64_t peak = 0;
+  for (std::uint64_t b : h.buckets) peak = std::max(peak, b);
+  for (std::size_t i = 0; i < trace::HistogramSnapshot::kBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;
+    int stars = peak == 0 ? 0
+                          : static_cast<int>((h.buckets[i] * 40 + peak - 1) /
+                                             peak);
+    appendf(out, "  [%" PRIu64 ", %" PRIu64 "] %" PRIu64 " |%.*s|\n",
+            trace::HistogramSnapshot::bucket_lo(i),
+            trace::HistogramSnapshot::bucket_hi(i), h.buckets[i], stars,
+            "****************************************");
+  }
+}
+
+}  // namespace
+
+void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
+  pfs.add_file("/self/stat", [&k] {
+    std::string out;
+    sched::Task* t = k.scheduler().current();
+    if (t == nullptr) return std::string("no current task\n");
+    appendf(out, "pid %u\nname %s\nstate %s\n", t->pid(), t->name().c_str(),
+            state_name(t->state()));
+    appendf(out, "syscalls %" PRIu64 "\npreemptions %" PRIu64 "\n",
+            t->syscalls, t->preemptions);
+    appendf(out,
+            "user_units %" PRIu64 "\nkernel_units %" PRIu64
+            "\nkernel_wall_ns %" PRIu64 "\n",
+            t->times().user, t->times().kernel, t->kernel_wall_ns);
+    appendf(out, "bytes_from_user %" PRIu64 "\nbytes_to_user %" PRIu64 "\n",
+            t->bytes_from_user, t->bytes_to_user);
+    return out;
+  });
+
+  pfs.add_file("/vfs/stats", [&k] {
+    const fs::VfsStats& s = k.vfs().stats();
+    std::string out;
+    appendf(out, "opens %" PRIu64 "\ncloses %" PRIu64 "\nreads %" PRIu64 "\n",
+            s.opens.load(), s.closes.load(), s.reads.load());
+    appendf(out, "writes %" PRIu64 "\nstats %" PRIu64 "\n", s.writes.load(),
+            s.stats_.load());
+    appendf(out,
+            "path_components %" PRIu64 "\nmount_crossings %" PRIu64 "\n",
+            s.path_components.load(), s.mount_crossings.load());
+    return out;
+  });
+
+  pfs.add_file("/vfs/dcache", [&k] {
+    fs::DcacheStats s = k.vfs().dcache().stats();
+    std::string out;
+    appendf(out, "lookups %" PRIu64 "\nhits %" PRIu64 "\nmisses %" PRIu64 "\n",
+            s.lookups, s.hits, s.lookups - s.hits);
+    appendf(out,
+            "inserts %" PRIu64 "\ninvalidations %" PRIu64
+            "\nevictions %" PRIu64 "\n",
+            s.inserts, s.invalidations, s.evictions);
+    return out;
+  });
+
+  pfs.add_file("/kernel/boundary", [&k] {
+    BoundaryStats s = k.boundary().stats();
+    std::string out;
+    appendf(out, "crossings %" PRIu64 "\n", s.crossings);
+    appendf(out,
+            "copies_from_user %" PRIu64 "\ncopies_to_user %" PRIu64 "\n",
+            s.copies_from_user, s.copies_to_user);
+    appendf(out, "bytes_from_user %" PRIu64 "\nbytes_to_user %" PRIu64 "\n",
+            s.bytes_from_user, s.bytes_to_user);
+    return out;
+  });
+
+  pfs.add_file("/mm/kmalloc", [&k] {
+    const mm::AllocatorStats& s = k.kmalloc().stats();
+    std::string out;
+    appendf(out,
+            "alloc_calls %" PRIu64 "\nfree_calls %" PRIu64
+            "\nfailed_allocs %" PRIu64 "\n",
+            s.alloc_calls, s.free_calls, s.failed_allocs);
+    appendf(out,
+            "bytes_requested %" PRIu64 "\noutstanding_allocs %" PRIu64
+            "\noutstanding_bytes %" PRIu64 "\n",
+            s.bytes_requested, s.outstanding_allocs, s.outstanding_bytes);
+    return out;
+  });
+
+  pfs.add_file("/sched/stats", [&k] {
+    const sched::SchedStats& s = k.scheduler().stats();
+    std::string out;
+    appendf(out,
+            "tasks %zu\npreempt_points %" PRIu64 "\nschedules %" PRIu64
+            "\nwatchdog_kills %" PRIu64 "\n",
+            k.scheduler().task_count(), s.preempt_points.load(),
+            s.schedules.load(), s.watchdog_kills.load());
+    return out;
+  });
+
+  // --- tracing control + views ----------------------------------------------
+  pfs.add_file(
+      "/trace/enable",
+      [] { return std::string(trace::enabled() ? "1\n" : "0\n"); },
+      [](std::string_view in) {
+        // Accept "0"/"1" with optional trailing whitespace (echo's \n).
+        std::size_t end = in.find_last_not_of(" \t\n");
+        if (end == std::string_view::npos) return Errno::kEINVAL;
+        std::string_view v = in.substr(0, end + 1);
+        if (v == "1") {
+          trace::ktrace().enable();
+        } else if (v == "0") {
+          trace::ktrace().disable();
+        } else {
+          return Errno::kEINVAL;
+        }
+        return Errno::kOk;
+      });
+
+  pfs.add_file("/trace/events", [] {
+    std::string out;
+    appendf(out, "enabled %d\nemitted %" PRIu64 "\ndropped %" PRIu64 "\n",
+            trace::enabled() ? 1 : 0, trace::ktrace().emitted(),
+            trace::ktrace().dropped());
+    for (const trace::SiteInfo& s : trace::ktrace().sites()) {
+      appendf(out, "%s:%s %" PRIu64 "\n", s.subsys, s.name, s.hits);
+    }
+    return out;
+  });
+
+  pfs.add_file("/trace/hist/syscall", [] {
+    std::string out;
+    for (std::uint16_t nr = 0; nr < trace::Ktrace::kMaxSyscalls; ++nr) {
+      trace::HistogramSnapshot h =
+          trace::ktrace().syscall_hist(nr).snapshot();
+      if (h.count == 0) continue;
+      appendf(out, "%s ", sys_name(static_cast<Sys>(nr)));
+      append_hist(out, h);
+    }
+    return out;
+  });
+
+  pfs.add_file("/trace/hist/ops", [] {
+    std::string out;
+    for (const trace::OpHistInfo& o : trace::ktrace().op_hists()) {
+      if (o.hist.count == 0) continue;
+      appendf(out, "%s:%s ", o.subsys, o.name);
+      append_hist(out, o.hist);
+    }
+    return out;
+  });
+}
+
+}  // namespace usk::uk

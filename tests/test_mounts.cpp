@@ -3,12 +3,16 @@
 // consolidated calls working across mounts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
+#include <string>
+#include <vector>
 
 #include "consolidation/newcalls.hpp"
 #include "fs/cryptfs.hpp"
 #include "fs/journalfs.hpp"
 #include "fs/memfs.hpp"
+#include "fs/procfs.hpp"
 #include "mm/kmalloc.hpp"
 #include "uk/userlib.hpp"
 
@@ -22,6 +26,22 @@ class MountTest : public ::testing::Test {
     rootfs_.set_cost_hook(kernel_.charge_hook());
     proc_.mkdir("/data");
     proc_.mkdir("/plain");
+  }
+
+  // Read a whole file through the syscall interface (read-until-EOF, as
+  // /proc files stat with size 0).
+  std::string cat(const char* path) {
+    int fd = proc_.open(path, fs::kORdOnly);
+    if (fd < 0) return {};
+    std::string out;
+    char buf[256];
+    for (;;) {
+      SysRet n = proc_.read(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    proc_.close(fd);
+    return out;
   }
 
   fs::MemFs rootfs_;
@@ -201,6 +221,107 @@ TEST_F(MountTest, EncryptedVaultMountedOverPlainTree) {
   std::byte raw[16];
   vault_lower.read(ino.value(), 0, std::span(raw, 10));
   EXPECT_NE(std::memcmp(raw, "classified", 10), 0);
+}
+
+TEST_F(MountTest, ProcfsMountsAlongsideOtherFilesystems) {
+  ASSERT_EQ(kernel_.vfs().mount("/data", jfs_), Errno::kOk);
+  kernel_.mount_procfs();
+  EXPECT_EQ(kernel_.vfs().mount_count(), 2u);
+  // mount_procfs is idempotent: a second call does not stack a new mount.
+  kernel_.mount_procfs();
+  EXPECT_EQ(kernel_.vfs().mount_count(), 2u);
+
+  // Both mounts are live at once: write through the journal mount, read
+  // kernel state through the proc mount.
+  int fd = proc_.open("/data/f", fs::kOWrOnly | fs::kOCreat);
+  ASSERT_GE(fd, 0);
+  proc_.write(fd, "x", 1);
+  proc_.close(fd);
+  EXPECT_NE(cat("/proc/vfs/stats").find("opens"), std::string::npos);
+}
+
+TEST_F(MountTest, ProcfsTraversalAndReaddirAcrossTheMountPoint) {
+  kernel_.mount_procfs();
+
+  // The mount point itself resolves to the procfs root directory.
+  fs::StatBuf st;
+  ASSERT_EQ(proc_.stat("/proc", &st), 0);
+  EXPECT_EQ(st.type, fs::FileType::kDirectory);
+
+  auto names = [](const std::vector<uk::UserDirent>& es) {
+    std::vector<std::string> out;
+    for (const auto& e : es) out.push_back(e.name);
+    return out;
+  };
+  auto top = names(proc_.list_dir("/proc"));
+  for (const char* want : {"self", "vfs", "kernel", "mm", "sched", "trace"}) {
+    EXPECT_NE(std::find(top.begin(), top.end(), want), top.end())
+        << "missing /proc/" << want;
+  }
+  auto trace = names(proc_.list_dir("/proc/trace"));
+  EXPECT_NE(std::find(trace.begin(), trace.end(), "hist"), trace.end());
+
+  // Multi-component traversal deep into the synthetic tree.
+  ASSERT_EQ(proc_.stat("/proc/trace/hist/syscall", &st), 0);
+  EXPECT_EQ(st.type, fs::FileType::kRegular);
+}
+
+TEST_F(MountTest, ProcfsFilesStatZeroButReadNonEmpty) {
+  kernel_.mount_procfs();
+  // Like the real /proc: getattr reports size 0, yet read() yields content
+  // rendered at open time. Readers must loop to EOF, as cat() does.
+  fs::StatBuf st;
+  ASSERT_EQ(proc_.stat("/proc/self/stat", &st), 0);
+  EXPECT_EQ(st.size, 0u);
+  std::string text = cat("/proc/self/stat");
+  EXPECT_FALSE(text.empty());
+  EXPECT_NE(text.find("name mnt"), std::string::npos);
+}
+
+TEST_F(MountTest, ProcfsNamespaceIsReadOnlyAcrossTheMount) {
+  kernel_.mount_procfs();
+  EXPECT_EQ(proc_.mkdir("/proc/newdir"), sysret_err(Errno::kEROFS));
+  EXPECT_EQ(proc_.open("/proc/newfile", fs::kOWrOnly | fs::kOCreat),
+            sysret_err(Errno::kEROFS));
+  EXPECT_EQ(proc_.unlink("/proc/vfs/stats"), sysret_err(Errno::kEROFS));
+  EXPECT_EQ(proc_.rename("/proc/vfs/stats", "/proc/vfs/stats2"),
+            sysret_err(Errno::kEROFS));
+  // Cross-mount moves out of procfs fail before reaching the filesystem.
+  EXPECT_EQ(proc_.rename("/proc/vfs/stats", "/plain/out"),
+            sysret_err(Errno::kEXDEV));
+}
+
+TEST_F(MountTest, ProcfsRegisteredFilesAppearImmediately) {
+  fs::ProcFs& pfs = kernel_.mount_procfs();
+  int value = 0;
+  pfs.add_file("/test/value",
+               [&value] { return std::to_string(value) + "\n"; });
+
+  // Rendered fresh on each open: consecutive reads see live state.
+  value = 7;
+  EXPECT_EQ(cat("/proc/test/value"), "7\n");
+  value = 42;
+  EXPECT_EQ(cat("/proc/test/value"), "42\n");
+
+  auto entries = proc_.list_dir("/proc/test");
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "value");
+}
+
+TEST_F(MountTest, ProcfsUnmountAndRemount) {
+  kernel_.mount_procfs();
+  ASSERT_FALSE(cat("/proc/self/stat").empty());
+
+  ASSERT_EQ(kernel_.vfs().unmount("/proc"), Errno::kOk);
+  fs::StatBuf st;
+  // The covering directory survives in the root filesystem; the synthetic
+  // files are gone.
+  EXPECT_EQ(proc_.stat("/proc", &st), 0);
+  EXPECT_EQ(proc_.stat("/proc/self/stat", &st), sysret_err(Errno::kENOENT));
+
+  // Remounting the same ProcFs instance brings the tree back.
+  ASSERT_EQ(kernel_.vfs().mount("/proc", kernel_.mount_procfs()), Errno::kOk);
+  EXPECT_NE(cat("/proc/self/stat").find("name mnt"), std::string::npos);
 }
 
 }  // namespace

@@ -156,7 +156,7 @@ double run_scan_cosy(Fixture& f, std::uint64_t compute_units) {
   });
 }
 
-void report(const char* app, const char* intensity,
+void report(bench::JsonWriter& json, const char* app, const char* intensity,
             std::uint64_t compute_units,
             double (*classic)(Fixture&, std::uint64_t),
             double (*cosy)(Fixture&, std::uint64_t)) {
@@ -169,6 +169,11 @@ void report(const char* app, const char* intensity,
   }
   std::printf("%-18s %-14s %12.4f %12.4f %9.1f%%\n", app, intensity, tc, tz,
               usk::bench::improvement_pct(tc, tz));
+  // ops_per_sec is probe/scan passes per second for the classic and Cosy
+  // variants of one (application, compute intensity) cell.
+  std::string base = std::string(app) + "/" + intensity;
+  json.record("classic/" + base, 1, 1.0 / tc, tc);
+  json.record("cosy/" + base, 1, 1.0 / tz, tz);
 }
 
 }  // namespace
@@ -178,13 +183,14 @@ int main() {
                            "speedup for CPU-bound apps)");
   std::printf("%-18s %-14s %12s %12s %10s\n", "application", "compute",
               "classic(s)", "cosy(s)", "speedup%");
+  bench::JsonWriter json("bench_cosy_apps");
 
-  report("db random-probe", "light", 200, run_db_classic, run_db_cosy);
-  report("db random-probe", "medium", 2000, run_db_classic, run_db_cosy);
-  report("db random-probe", "heavy", 8000, run_db_classic, run_db_cosy);
-  report("grep-like scan", "light", 200, run_scan_classic, run_scan_cosy);
-  report("grep-like scan", "medium", 2000, run_scan_classic, run_scan_cosy);
-  report("grep-like scan", "heavy", 8000, run_scan_classic, run_scan_cosy);
+  report(json, "db random-probe", "light", 200, run_db_classic, run_db_cosy);
+  report(json, "db random-probe", "medium", 2000, run_db_classic, run_db_cosy);
+  report(json, "db random-probe", "heavy", 8000, run_db_classic, run_db_cosy);
+  report(json, "grep-like scan", "light", 200, run_scan_classic, run_scan_cosy);
+  report(json, "grep-like scan", "medium", 2000, run_scan_classic, run_scan_cosy);
+  report(json, "grep-like scan", "heavy", 8000, run_scan_classic, run_scan_cosy);
 
   bench::print_note("record processing stays in user space (shared-buffer "
                     "zero copy); heavier compute dilutes the savings toward "

@@ -63,6 +63,14 @@ int main() {
   std::printf("  paper ratios               :          calls 0.100, bytes "
               "0.623\n");
 
+  // ops_per_sec is audited syscalls per second of simulated-kernel wall;
+  // the classic/readdirplus split carries the what-if call counts.
+  bench::JsonWriter json("bench_interactive_savings");
+  json.record("classic-calls", 1,
+              static_cast<double>(s.calls_before) / elapsed, elapsed);
+  json.record("readdirplus-calls", 1,
+              static_cast<double>(s.calls_after) / elapsed, elapsed);
+
   // The paper converts the savings to seconds/hour; do the same using the
   // boundary cost model (crossing + copy work per eliminated call).
   const uk::CostModel& cm = kernel.boundary().model();

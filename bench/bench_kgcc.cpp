@@ -89,6 +89,8 @@ int main() {
               "van-ela(s)", "kgcc-ela", "ratio", "van-sys(s)", "kgcc-sys",
               "ratio");
 
+  // ops_per_sec is workload runs per second; elapsed is one run.
+  bench::JsonWriter json("bench_kgcc");
   bcc::Runtime& rt = bcc::Runtime::instance();
 
   RunResult bv = run_build<fs::RawPtrPolicy>();
@@ -102,6 +104,11 @@ int main() {
   RunResult pk = run_postmark<bcc::BccPtrPolicy>();
   std::uint64_t pm_checks = rt.stats().checks - checks0;
   report("postmark", pv, pk, "paper: elapsed 3x, sys 14x");
+
+  json.record("amutils-vanilla", 1, 1.0 / bv.elapsed, bv.elapsed);
+  json.record("amutils-kgcc", 1, 1.0 / bk.elapsed, bk.elapsed);
+  json.record("postmark-vanilla", 1, 1.0 / pv.elapsed, pv.elapsed);
+  json.record("postmark-kgcc", 1, 1.0 / pk.elapsed, pk.elapsed);
 
   std::printf("  runtime checks executed    : build %" PRIu64
               ", postmark %" PRIu64 "\n", build_checks, pm_checks);

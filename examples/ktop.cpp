@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "net/net.hpp"
 #include "uk/userlib.hpp"
 
 namespace {
@@ -61,10 +62,31 @@ void workload(uk::Proc& p, int round) {
   for (int i = 0; i < 64; ++i) p.getpid();
 }
 
+/// Socket traffic so accept/send/recv show up in the latency table: a
+/// self-connected loopback pair echoing a few messages.
+void socket_workload(net::Net& net, uk::Proc& p, std::uint16_t port) {
+  uk::Process& proc = p.process();
+  int lfd = static_cast<int>(net.sys_socket(proc));
+  net.sys_bind(proc, lfd, port);
+  net.sys_listen(proc, lfd, 4);
+  int cli = static_cast<int>(net.sys_socket(proc));
+  net.sys_connect(proc, cli, port);
+  int srv = static_cast<int>(net.sys_accept(proc, lfd));
+  char msg[256] = {}, back[256];
+  for (int i = 0; i < 16; ++i) {
+    net.sys_send(proc, cli, msg, sizeof msg);
+    net.sys_recv(proc, srv, back, sizeof back);
+  }
+  p.close(cli);
+  p.close(srv);
+  p.close(lfd);
+}
+
 void render_frame(uk::Proc& p, int frame) {
   std::string self = read_proc_file(p, "/proc/self/stat");
   std::string vfs = read_proc_file(p, "/proc/vfs/stats");
   std::string dcache = read_proc_file(p, "/proc/vfs/dcache");
+  std::string netstats = read_proc_file(p, "/proc/net/stats");
   std::string hist = read_proc_file(p, "/proc/trace/hist/syscall");
 
   std::printf("\n--- ktop frame %d ---------------------------------------\n",
@@ -80,6 +102,10 @@ void render_frame(uk::Proc& p, int frame) {
               value_after(vfs, "writes").c_str(),
               value_after(dcache, "hits").c_str(),
               value_after(dcache, "lookups").c_str());
+  std::printf("net: conns %s pkts %s bytes %s\n",
+              value_after(netstats, "conns_accepted").c_str(),
+              value_after(netstats, "packets_sent").c_str(),
+              value_after(netstats, "bytes_sent").c_str());
 
   // Per-syscall latency table: /proc/trace/hist/syscall emits one summary
   // line per syscall ("open count N avg_ns A p50_ns B p99_ns C max_ns D")
@@ -109,7 +135,8 @@ int main() {
   fs::MemFs rootfs;
   uk::Kernel kernel(rootfs);
   rootfs.set_cost_hook(kernel.charge_hook());
-  kernel.mount_procfs();
+  net::Net net(kernel);
+  net.register_proc(kernel.mount_procfs());
   uk::Proc top(kernel, "ktop");
   top.mkdir("/work");
 
@@ -120,6 +147,7 @@ int main() {
 
   for (int frame = 1; frame <= 3; ++frame) {
     for (int round = 0; round < 8; ++round) workload(top, round);
+    socket_workload(net, top, static_cast<std::uint16_t>(9000 + frame));
     render_frame(top, frame);
   }
 

@@ -28,8 +28,15 @@ std::string_view errno_name(Errno e) {
     case Errno::kENAMETOOLONG: return "ENAMETOOLONG";
     case Errno::kENOTEMPTY: return "ENOTEMPTY";
     case Errno::kENOSYS: return "ENOSYS";
+    case Errno::kEPIPE: return "EPIPE";
     case Errno::kETIME: return "ETIME";
     case Errno::kEOVERFLOW: return "EOVERFLOW";
+    case Errno::kENOTSOCK: return "ENOTSOCK";
+    case Errno::kEADDRINUSE: return "EADDRINUSE";
+    case Errno::kECONNRESET: return "ECONNRESET";
+    case Errno::kEISCONN: return "EISCONN";
+    case Errno::kENOTCONN: return "ENOTCONN";
+    case Errno::kECONNREFUSED: return "ECONNREFUSED";
     case Errno::kEKILLED: return "EKILLED";
   }
   return "E???";

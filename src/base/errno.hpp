@@ -35,11 +35,18 @@ enum class Errno : std::int32_t {
   kEFBIG = 27,   ///< File too large
   kENOSPC = 28,  ///< No space left on device
   kEROFS = 30,   ///< Read-only file system
+  kEPIPE = 32,   ///< Broken pipe (send after shutdown)
   kENAMETOOLONG = 36,
   kENOTEMPTY = 39,
   kENOSYS = 38,  ///< Function not implemented
   kETIME = 62,   ///< Timer expired (Cosy kernel-time budget exceeded)
   kEOVERFLOW = 75,
+  kENOTSOCK = 88,      ///< Socket operation on non-socket fd
+  kEADDRINUSE = 98,    ///< Port already bound
+  kECONNRESET = 104,   ///< Connection reset by peer (peer closed hard)
+  kEISCONN = 106,      ///< Socket is already connected
+  kENOTCONN = 107,     ///< Socket is not connected
+  kECONNREFUSED = 111, ///< No listener on the target port
   kEKILLED = 132, ///< Task killed by the safety watchdog
 };
 

@@ -209,4 +209,66 @@ WhatIfSavings readdirplus_whatif(const std::vector<uk::AuditRecord>& records) {
   return s;
 }
 
+WhatIfSavings server_consolidation_whatif(
+    const std::vector<uk::AuditRecord>& records) {
+  WhatIfSavings s;
+  std::size_t i = 0;
+  const std::size_t n = records.size();
+  while (i < n) {
+    const uk::AuditRecord& r = records[i];
+
+    // accept followed by recv on the new connection -> one accept_recv.
+    if (r.nr == uk::Sys::kAccept && i + 1 < n &&
+        records[i + 1].nr == uk::Sys::kRecv &&
+        records[i + 1].pid == r.pid) {
+      const uk::AuditRecord& rv = records[i + 1];
+      s.calls_before += 2;
+      s.bytes_before += r.bytes_in + r.bytes_out + rv.bytes_in + rv.bytes_out;
+      s.calls_after += 1;
+      // accept_recv still returns the request bytes + the connection fd.
+      s.bytes_after += rv.bytes_out + sizeof(int);
+      i += 2;
+      continue;
+    }
+
+    // open, read..., send..., close on one pid -> one sendfile. The file
+    // payload (read copy-out + send copy-in) disappears: sendfile moves
+    // it kernel-side. What remains of the burst is the path copy-in.
+    if (r.nr == uk::Sys::kOpen && i + 1 < n) {
+      std::size_t j = i + 1;
+      std::uint64_t burst_bytes = r.bytes_in + r.bytes_out;
+      std::uint64_t burst_calls = 1;
+      bool saw_read = false;
+      bool saw_send = false;
+      while (j < n && records[j].pid == r.pid &&
+             (records[j].nr == uk::Sys::kRead ||
+              records[j].nr == uk::Sys::kSend)) {
+        saw_read = saw_read || records[j].nr == uk::Sys::kRead;
+        saw_send = saw_send || records[j].nr == uk::Sys::kSend;
+        burst_bytes += records[j].bytes_in + records[j].bytes_out;
+        burst_calls += 1;
+        ++j;
+      }
+      if (saw_read && saw_send && j < n &&
+          records[j].nr == uk::Sys::kClose && records[j].pid == r.pid) {
+        burst_calls += 1;
+        burst_bytes += records[j].bytes_in + records[j].bytes_out;
+        s.calls_before += burst_calls;
+        s.bytes_before += burst_bytes;
+        s.calls_after += 1;
+        s.bytes_after += r.bytes_in;  // just the path copy-in
+        i = j + 1;
+        continue;
+      }
+    }
+
+    s.calls_before += 1;
+    s.calls_after += 1;
+    s.bytes_before += r.bytes_in + r.bytes_out;
+    s.bytes_after += r.bytes_in + r.bytes_out;
+    ++i;
+  }
+  return s;
+}
+
 }  // namespace usk::consolidation

@@ -76,4 +76,12 @@ struct WhatIfSavings {
 };
 WhatIfSavings readdirplus_whatif(const std::vector<uk::AuditRecord>& records);
 
+/// What-if analysis for the server heavy path (E8): savings if every
+/// accept->recv pair had been one accept_recv, and every
+/// open->read...->send...->close response burst one sendfile. Besides the
+/// saved crossings, sendfile's bytes_after drops the file payload
+/// entirely -- the data would have moved kernel-side.
+WhatIfSavings server_consolidation_whatif(
+    const std::vector<uk::AuditRecord>& records);
+
 }  // namespace usk::consolidation

@@ -1,0 +1,37 @@
+// Server-side consolidated system calls (paper §2.2 applied to the
+// accept->recv->send->close heavy path the syscall-graph miner finds in
+// web-server traces).
+//
+// accept_recv collapses the connection prologue -- accept(2) plus the
+// read of the first request -- into one crossing. sendfile collapses the
+// whole response path (open/read.../send.../close) into one crossing AND
+// moves the file bytes kernel-side, MemFs page -> socket queue, so the
+// payload never visits user space at all: the only user copies are the
+// path (in) and the returned count.
+//
+// Kept in its own translation unit so the classic consolidated calls
+// (newcalls.cpp) stay free of the net dependency.
+#pragma once
+
+#include "net/net.hpp"
+#include "uk/kernel.hpp"
+
+namespace usk::consolidation {
+
+/// accept + recv-first-request in one crossing. Installs the accepted
+/// connection's fd into *uconnfd and fills `ubuf` with the first bytes of
+/// the request (blocking per the listener's nonblock flag for the accept,
+/// and per the connection's flag for the recv). Returns bytes received
+/// (0 = peer closed before sending).
+SysRet sys_accept_recv(net::Net& net, uk::Kernel& k, uk::Process& p,
+                       int listenfd, void* ubuf, std::size_t n,
+                       int* uconnfd);
+
+/// open+read...+send...+close in one crossing with zero user-space data
+/// copies: `count` bytes of the file at `upath` starting at `offset` move
+/// kernel-side into the connection behind `sockfd`. Returns bytes sent.
+SysRet sys_sendfile(net::Net& net, uk::Kernel& k, uk::Process& p, int sockfd,
+                    const char* upath, std::uint64_t offset,
+                    std::size_t count);
+
+}  // namespace usk::consolidation

@@ -86,6 +86,13 @@ class FileSystem {
     return Errno::kOk;
   }
 
+  /// Hook invoked by the VFS when a file descriptor referencing `ino` is
+  /// released (close) or duplicated (dup). Filesystems whose objects have
+  /// fd-bound lifetimes (net::SocketFs refcounts its sockets) override
+  /// these; stored filesystems have nothing to do.
+  virtual void release_file(InodeNum ino) { (void)ino; }
+  virtual void dup_file(InodeNum ino) { (void)ino; }
+
   /// Flush pending state (journals). Default: nothing to do.
   virtual Errno sync() { return Errno::kOk; }
 };

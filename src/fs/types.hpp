@@ -13,6 +13,7 @@ enum class FileType : std::uint8_t {
   kRegular,
   kDirectory,
   kSymlink,
+  kSocket,  ///< net::Socket exposed through the fd table (src/net)
 };
 
 /// What stat()/fstat() fill in. This is the structure copied across the

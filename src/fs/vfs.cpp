@@ -198,7 +198,22 @@ Result<int> Vfs::open(FdTable& fds, std::string_view path, int flags,
 
 Errno Vfs::close(FdTable& fds, int fd) {
   ++vstats_.closes;
-  return fds.release(fd);
+  OpenFile* f = fds.get(fd);
+  if (f == nullptr) return Errno::kEBADF;
+  FileSystem& ffs = file_fs(fs_, *f);
+  InodeNum ino = f->ino;
+  Errno e = fds.release(fd);
+  if (e == Errno::kOk) ffs.release_file(ino);
+  return e;
+}
+
+Result<int> Vfs::dup(FdTable& fds, int fd) {
+  OpenFile* f = fds.get(fd);
+  if (f == nullptr) return Errno::kEBADF;
+  OpenFile copy = *f;
+  Result<int> nfd = fds.install(copy);
+  if (nfd) file_fs(fs_, copy).dup_file(copy.ino);
+  return nfd;
 }
 
 Result<std::size_t> Vfs::read(FdTable& fds, int fd, std::span<std::byte> out) {

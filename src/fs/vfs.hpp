@@ -90,6 +90,10 @@ class Vfs {
   Result<int> open(FdTable& fds, std::string_view path, int flags,
                    std::uint32_t mode);
   Errno close(FdTable& fds, int fd);
+  /// Duplicate `fd` into the lowest free slot (dup(2)-style; the copy has
+  /// its own file position). The owning filesystem sees dup_file so
+  /// fd-refcounted objects (sockets) survive sharing.
+  Result<int> dup(FdTable& fds, int fd);
   Result<std::size_t> read(FdTable& fds, int fd, std::span<std::byte> out);
   Result<std::size_t> write(FdTable& fds, int fd,
                             std::span<const std::byte> in);

@@ -1,0 +1,191 @@
+// epoll_create / epoll_ctl / epoll_wait: the readiness multiplexer.
+//
+// Level-triggered by design: epoll_wait re-derives readiness from socket
+// state on every call (the ready_ set is only a wakeup hint), so an fd
+// whose queue still holds bytes is reported again on the next wait. The
+// scan copies the watch list under the epoll lock, then inspects each
+// socket under its own lock -- honouring the socket -> epoll lock order
+// by never touching a socket while the epoll lock is held.
+
+#include <algorithm>
+#include <chrono>
+
+#include "net/net.hpp"
+#include "trace/tracepoint.hpp"
+
+namespace usk::net {
+
+namespace {
+
+/// Resolve an epoll fd through the fd table.
+Result<std::shared_ptr<Epoll>> epoll_of(Net& net, uk::Process& p, int epfd) {
+  fs::OpenFile* f = p.fds.get(epfd);
+  if (f == nullptr) return Errno::kEBADF;
+  if (f->fsp != &net.sockfs()) return Errno::kEINVAL;
+  std::shared_ptr<Epoll> ep = net.find_epoll(f->ino);
+  if (ep == nullptr) return Errno::kEINVAL;  // a plain socket fd
+  return ep;
+}
+
+}  // namespace
+
+SysRet Net::sys_epoll_create(uk::Process& p) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollCreate);
+  std::shared_ptr<Epoll> ep;
+  fs::InodeNum ino = 0;
+  {
+    std::lock_guard tlk(tab_mu_);
+    ino = next_ino_++;
+    ep = std::make_shared<Epoll>(ino);
+    epolls_[ino] = ep;
+  }
+  fs::OpenFile f;
+  f.ino = ino;
+  f.flags = fs::kORdWr;
+  f.fsp = &sockfs_;
+  f.fs_id = 0xFFFFFFFFu;
+  Result<int> fd = p.fds.install(f);
+  if (!fd) {
+    drop_epoll(ep);
+    return scope.fail(fd.error());
+  }
+  return scope.done(fd.value());
+}
+
+SysRet Net::sys_epoll_ctl(uk::Process& p, int epfd, int op, int fd,
+                              std::uint32_t events) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollCtl);
+  Result<std::shared_ptr<Epoll>> rep = epoll_of(*this, p, epfd);
+  if (!rep) return scope.fail(rep.error());
+  Epoll& ep = *rep.value();
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  std::shared_ptr<Socket> s = rs.value();
+
+  switch (op) {
+    case kEpollCtlAdd: {
+      {
+        std::lock_guard elk(ep.mu_);
+        auto it = ep.entries_.find(fd);
+        // A live entry is a duplicate; an expired one is a registration
+        // whose socket was closed (close removes the watch, as in real
+        // epoll) that a reused fd number may take over.
+        if (it != ep.entries_.end() && !it->second.sock.expired()) {
+          return scope.fail(Errno::kEEXIST);
+        }
+        ep.entries_[fd] = Epoll::Entry{s, events};
+        ep.ready_.insert(fd);  // seed: first wait verifies real readiness
+      }
+      std::lock_guard slk(s->mu_);
+      s->watchers_.emplace_back(rep.value(), fd);
+      return scope.done(0);
+    }
+    case kEpollCtlMod: {
+      std::lock_guard elk(ep.mu_);
+      auto it = ep.entries_.find(fd);
+      if (it == ep.entries_.end()) return scope.fail(Errno::kENOENT);
+      it->second.events = events;
+      ep.ready_.insert(fd);
+      return scope.done(0);
+    }
+    case kEpollCtlDel: {
+      {
+        std::lock_guard elk(ep.mu_);
+        if (ep.entries_.erase(fd) == 0) return scope.fail(Errno::kENOENT);
+      }
+      std::lock_guard slk(s->mu_);
+      std::erase_if(s->watchers_, [&](const auto& w) {
+        return w.second == fd &&
+               (w.first.expired() || w.first.lock() == rep.value());
+      });
+      return scope.done(0);
+    }
+    default:
+      return scope.fail(Errno::kEINVAL);
+  }
+}
+
+SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
+                               int maxevents, int timeout_ms) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollWait);
+  USK_TRACE_LATENCY("net", "epoll_wait");
+  USK_TRACEPOINT("net", "epoll_wait", static_cast<std::uint64_t>(epfd));
+  if (uevents == nullptr || maxevents <= 0) return scope.fail(Errno::kEINVAL);
+  Result<std::shared_ptr<Epoll>> rep = epoll_of(*this, p, epfd);
+  if (!rep) return scope.fail(rep.error());
+  Epoll& ep = *rep.value();
+
+  using clock = std::chrono::steady_clock;
+  const bool forever = timeout_ms < 0;
+  const clock::time_point deadline =
+      forever ? clock::time_point::max()
+              : clock::now() + std::chrono::milliseconds(timeout_ms);
+
+  std::vector<EpollEvent> out;
+  for (;;) {
+    // 1. Snapshot the watch list (epoll lock only).
+    struct Cand {
+      int fd;
+      std::weak_ptr<Socket> sock;
+      std::uint32_t events;
+    };
+    std::vector<Cand> cands;
+    {
+      std::lock_guard elk(ep.mu_);
+      cands.reserve(ep.entries_.size());
+      for (const auto& [fd, e] : ep.entries_) {
+        cands.push_back(Cand{fd, e.sock, e.events});
+      }
+      ep.ready_.clear();  // hints consumed; the scan below is the truth
+    }
+
+    // 2. Check each socket under its own lock (level-triggered re-arm).
+    out.clear();
+    std::vector<int> dead;
+    for (const Cand& c : cands) {
+      charge(costs_.poll_op);
+      std::shared_ptr<Socket> s = c.sock.lock();
+      if (s == nullptr) {
+        dead.push_back(c.fd);  // closed while registered: prune silently
+        continue;
+      }
+      std::uint32_t mask = 0;
+      {
+        std::lock_guard slk(s->mu_);
+        mask = s->readiness_locked() & (c.events | kEpollHup);
+      }
+      if (mask != 0) out.push_back(EpollEvent{c.fd, mask});
+      if (static_cast<int>(out.size()) >= maxevents) break;
+    }
+
+    // 3. Prune entries whose socket is gone.
+    if (!dead.empty()) {
+      std::lock_guard elk(ep.mu_);
+      for (int fd : dead) ep.entries_.erase(fd);
+    }
+
+    if (!out.empty()) break;
+    if (!forever && (timeout_ms == 0 || clock::now() >= deadline)) break;
+
+    // 4. Park until a socket signals (or the next poll slice).
+    {
+      sched::Task* t = k_.scheduler().current();
+      if (t != nullptr && !k_.scheduler().schedule_out(*t)) {
+        return scope.fail(Errno::kEINTR);
+      }
+      std::unique_lock elk(ep.mu_);
+      if (ep.ready_.empty()) {
+        ep.cv_.wait_for(elk, std::chrono::microseconds(200));
+      }
+    }
+  }
+
+  std::size_t n = std::min(out.size(), static_cast<std::size_t>(maxevents));
+  if (n > 0) {
+    k_.boundary().copy_to_user(p.task, uevents, out.data(),
+                               n * sizeof(EpollEvent));
+  }
+  return scope.done(static_cast<SysRet>(n));
+}
+
+}  // namespace usk::net

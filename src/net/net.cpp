@@ -1,0 +1,512 @@
+// Loopback transport + server socket syscalls (see net.hpp).
+
+#include "net/net.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "trace/tracepoint.hpp"
+
+namespace usk::net {
+
+const char* sock_state_name(SockState s) {
+  switch (s) {
+    case SockState::kNew: return "new";
+    case SockState::kBound: return "bound";
+    case SockState::kListening: return "listening";
+    case SockState::kConnected: return "connected";
+    case SockState::kClosed: return "closed";
+  }
+  return "?";
+}
+
+namespace {
+/// Sentinel fs_id for descriptors owned by SocketFs: sockets never take
+/// part in path-walk or mount bookkeeping, which is all fs_id is for.
+constexpr std::uint32_t kSockFsId = 0xFFFFFFFFu;
+
+/// How long a parked task sleeps between readiness re-checks. Readiness
+/// signals (cv notifies) cut the latency; the periodic re-check makes a
+/// missed wakeup a performance bug, never a hang.
+constexpr auto kParkSlice = std::chrono::microseconds(200);
+}  // namespace
+
+Net::Net(uk::Kernel& k, NetCosts costs)
+    : k_(k), costs_(costs), sockfs_(*this) {}
+
+void Net::charge(std::uint64_t units) {
+  k_.engine().alu(units);
+  if (sched::Task* t = k_.scheduler().current()) t->charge_kernel(units);
+}
+
+void Net::note_sendfile(std::uint64_t bytes) {
+  std::lock_guard lk(stats_mu_);
+  nstats_.sendfile_bytes += bytes;
+}
+
+NetStats Net::stats() const {
+  std::lock_guard lk(stats_mu_);
+  return nstats_;
+}
+
+template <typename Pred>
+Errno Net::block_on(std::unique_lock<std::mutex>& lk,
+                    std::condition_variable& cv, Pred&& pred) {
+  while (!pred()) {
+    // Park = schedule out: the watchdog runs here, so a task blocked on a
+    // socket that will never become ready is killed by the same kernel
+    // budget policy as any runaway in-kernel loop (paper §3: user code in
+    // the kernel must stay preemptible and killable even when it waits).
+    lk.unlock();
+    sched::Task* t = k_.scheduler().current();
+    bool alive = t == nullptr || k_.scheduler().schedule_out(*t);
+    lk.lock();
+    if (!alive) return Errno::kEINTR;
+    if (pred()) break;
+    cv.wait_for(lk, kParkSlice);
+  }
+  return Errno::kOk;
+}
+
+std::shared_ptr<Socket> Net::make_socket(bool nonblock) {
+  std::lock_guard lk(tab_mu_);
+  fs::InodeNum ino = next_ino_++;
+  auto s = std::make_shared<Socket>(ino, costs_, nonblock);
+  sockets_[ino] = s;
+  {
+    std::lock_guard slk(stats_mu_);
+    ++nstats_.sockets_created;
+  }
+  return s;
+}
+
+std::shared_ptr<Socket> Net::find_socket(fs::InodeNum ino) {
+  std::lock_guard lk(tab_mu_);
+  auto it = sockets_.find(ino);
+  return it == sockets_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<Epoll> Net::find_epoll(fs::InodeNum ino) {
+  std::lock_guard lk(tab_mu_);
+  auto it = epolls_.find(ino);
+  return it == epolls_.end() ? nullptr : it->second;
+}
+
+Result<std::shared_ptr<Socket>> Net::socket_of(uk::Process& p, int fd) {
+  fs::OpenFile* f = p.fds.get(fd);
+  if (f == nullptr) return Errno::kEBADF;
+  if (f->fsp != &sockfs_) return Errno::kENOTSOCK;
+  std::shared_ptr<Socket> s = find_socket(f->ino);
+  if (s == nullptr) return Errno::kENOTSOCK;  // an epoll fd, or stale
+  return s;
+}
+
+Result<int> Net::install_fd(uk::Process& p, const std::shared_ptr<Socket>& s) {
+  fs::OpenFile f;
+  f.ino = s->id();
+  f.flags = fs::kORdWr;
+  f.fsp = &sockfs_;
+  f.fs_id = kSockFsId;
+  return p.fds.install(f);
+}
+
+void Net::notify_watchers_locked(Socket& s) {
+  for (auto& [wep, userfd] : s.watchers_) {
+    if (std::shared_ptr<Epoll> ep = wep.lock()) ep->signal(userfd);
+  }
+}
+
+// --- socket / bind / listen ------------------------------------------------
+
+SysRet Net::sys_socket(uk::Process& p, int flags) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kSocket);
+  std::shared_ptr<Socket> s = make_socket((flags & kSockNonblock) != 0);
+  Result<int> fd = install_fd(p, s);
+  if (!fd) {
+    drop_socket(s);
+    return scope.fail(fd.error());
+  }
+  return scope.done(fd.value());
+}
+
+SysRet Net::sys_bind(uk::Process& p, int fd, std::uint16_t port) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kBind);
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  Socket& s = *rs.value();
+  if (port == 0) return scope.fail(Errno::kEINVAL);
+  std::lock_guard tlk(tab_mu_);
+  std::lock_guard slk(s.mu_);
+  if (s.state_ != SockState::kNew) return scope.fail(Errno::kEINVAL);
+  auto it = ports_.find(port);
+  if (it != ports_.end() && !it->second.expired()) {
+    return scope.fail(Errno::kEADDRINUSE);
+  }
+  ports_[port] = rs.value();
+  s.port_ = port;
+  s.state_ = SockState::kBound;
+  return scope.done(0);
+}
+
+SysRet Net::sys_listen(uk::Process& p, int fd, int backlog) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kListen);
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  Socket& s = *rs.value();
+  std::lock_guard slk(s.mu_);
+  if (s.state_ != SockState::kBound) return scope.fail(Errno::kEINVAL);
+  s.backlog_ = std::clamp(backlog, 1, costs_.backlog_max);
+  s.state_ = SockState::kListening;
+  return scope.done(0);
+}
+
+// --- connect ---------------------------------------------------------------
+
+SysRet Net::sys_connect(uk::Process& p, int fd, std::uint16_t port) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kConnect);
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  std::shared_ptr<Socket> cli = rs.value();
+  {
+    std::lock_guard clk(cli->mu_);
+    if (cli->state_ == SockState::kConnected) {
+      return scope.fail(Errno::kEISCONN);
+    }
+    if (cli->state_ != SockState::kNew) return scope.fail(Errno::kEINVAL);
+  }
+
+  std::shared_ptr<Socket> lsn;
+  {
+    std::lock_guard tlk(tab_mu_);
+    auto it = ports_.find(port);
+    if (it != ports_.end()) lsn = it->second.lock();
+  }
+  bool refused = lsn == nullptr;
+  if (!refused) {
+    std::lock_guard llk(lsn->mu_);
+    refused = lsn->state_ != SockState::kListening;
+  }
+  if (refused) {
+    std::lock_guard slk(stats_mu_);
+    ++nstats_.conns_refused;
+    return scope.fail(Errno::kECONNREFUSED);
+  }
+
+  // Build the server-side half. Not yet published, so no lock needed.
+  std::shared_ptr<Socket> srv = make_socket(false);
+  srv->state_ = SockState::kConnected;
+  srv->port_ = port;
+  srv->peer_ = cli;
+  srv->nonblock_ = lsn->nonblock_;  // accepted conns inherit the listener's
+
+  charge(costs_.connect_setup);
+
+  // Queue it on the listener; a full backlog blocks (or EAGAIN).
+  {
+    std::unique_lock llk(lsn->mu_);
+    bool cli_nonblock = false;
+    {
+      std::lock_guard clk(cli->mu_);  // never held with llk? -- see below
+      cli_nonblock = cli->nonblock_;
+    }
+    // NOTE: the nested lock above violates the one-socket-lock rule on
+    // paper, but cli is unpublished to any other thread's send/recv path
+    // at this point (not connected) and listener code never locks a
+    // client, so no cycle is possible. Kept for clarity over caching.
+    while (lsn->accept_q_.size() >=
+           static_cast<std::size_t>(lsn->backlog_)) {
+      if (cli_nonblock) {
+        drop_socket(srv);
+        return scope.fail(Errno::kEAGAIN);
+      }
+      Errno be = block_on(llk, lsn->cv_, [&] {
+        return lsn->state_ != SockState::kListening ||
+               lsn->accept_q_.size() <
+                   static_cast<std::size_t>(lsn->backlog_);
+      });
+      if (be != Errno::kOk) {
+        drop_socket(srv);
+        return scope.fail(be);
+      }
+      if (lsn->state_ != SockState::kListening) {
+        drop_socket(srv);
+        return scope.fail(Errno::kECONNREFUSED);
+      }
+    }
+    lsn->accept_q_.push_back(srv);
+    notify_watchers_locked(*lsn);
+    lsn->cv_.notify_all();
+  }
+
+  {
+    std::lock_guard clk(cli->mu_);
+    cli->state_ = SockState::kConnected;
+    cli->peer_ = srv;
+    cli->peer_port_ = port;
+  }
+  return scope.done(0);
+}
+
+// --- accept ----------------------------------------------------------------
+
+Result<int> Net::accept_pop(uk::Process& p, Socket& ls) {
+  std::shared_ptr<Socket> conn;
+  {
+    std::unique_lock llk(ls.mu_);
+    if (ls.state_ != SockState::kListening) return Errno::kEINVAL;
+    if (ls.accept_q_.empty()) {
+      if (ls.nonblock_) return Errno::kEAGAIN;
+      Errno be = block_on(llk, ls.cv_, [&] {
+        return !ls.accept_q_.empty() ||
+               ls.state_ != SockState::kListening;
+      });
+      if (be != Errno::kOk) return be;
+      if (ls.accept_q_.empty()) return Errno::kEINVAL;  // listener closed
+    }
+    conn = ls.accept_q_.front();
+    ls.accept_q_.pop_front();
+    ls.cv_.notify_all();  // a connect parked on a full backlog
+  }
+  charge(costs_.accept_setup);
+  Result<int> fd = install_fd(p, conn);
+  if (!fd) {
+    drop_socket(conn);
+    return fd.error();
+  }
+  {
+    std::lock_guard slk(stats_mu_);
+    ++nstats_.conns_accepted;
+  }
+  return fd;
+}
+
+SysRet Net::sys_accept(uk::Process& p, int fd) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kAccept);
+  USK_TRACE_LATENCY("net", "accept");
+  USK_TRACEPOINT("net", "accept", static_cast<std::uint64_t>(fd));
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  Result<int> r = accept_pop(p, *rs.value());
+  if (!r) return scope.fail(r.error());
+  return scope.done(r.value());
+}
+
+// --- send / recv -----------------------------------------------------------
+
+Result<std::size_t> Net::send_from(Socket& s,
+                                   std::span<const std::byte> in) {
+  std::shared_ptr<Socket> peer;
+  bool nonblock = false;
+  {
+    std::lock_guard slk(s.mu_);
+    if (s.state_ != SockState::kConnected) return Errno::kENOTCONN;
+    if (s.tx_shutdown_) return Errno::kEPIPE;
+    peer = s.peer_.lock();
+    nonblock = s.nonblock_;
+  }
+  if (peer == nullptr) return Errno::kECONNRESET;
+
+  std::size_t sent = 0;
+  while (sent < in.size()) {
+    std::size_t pushed = 0;
+    {
+      std::unique_lock plk(peer->mu_);
+      if (peer->state_ == SockState::kClosed || peer->rd_shutdown_) {
+        if (sent > 0) break;
+        return Errno::kECONNRESET;
+      }
+      if (peer->rx_.free_space() == 0) {
+        if (nonblock) {
+          if (sent > 0) break;
+          return Errno::kEAGAIN;
+        }
+        Errno be = block_on(plk, peer->cv_, [&] {
+          return peer->rx_.free_space() > 0 ||
+                 peer->state_ == SockState::kClosed || peer->rd_shutdown_;
+        });
+        if (be != Errno::kOk) return be;
+        continue;  // re-check closed/space with the lock held
+      }
+      pushed = peer->rx_.push(in.subspan(sent));
+      peer->bytes_rx_ += pushed;
+      peer->pkts_rx_ += (pushed + costs_.mtu - 1) / costs_.mtu;
+      notify_watchers_locked(*peer);  // socket -> epoll lock order
+      peer->cv_.notify_all();
+    }
+    // The modelled wire: per-packet protocol work + per-KiB data work.
+    std::uint64_t pkts = (pushed + costs_.mtu - 1) / costs_.mtu;
+    charge(pkts * costs_.per_packet +
+           ((pushed + 1023) / 1024) * costs_.per_kib);
+    {
+      std::lock_guard slk(s.mu_);
+      s.bytes_tx_ += pushed;
+      s.pkts_tx_ += pkts;
+    }
+    {
+      std::lock_guard stlk(stats_mu_);
+      nstats_.bytes_sent += pushed;
+      nstats_.packets_sent += pkts;
+    }
+    sent += pushed;
+  }
+  return sent;
+}
+
+Result<std::size_t> Net::recv_into(Socket& s, std::span<std::byte> out) {
+  if (out.empty()) return std::size_t{0};
+  std::unique_lock slk(s.mu_);
+  for (;;) {
+    if (s.rd_shutdown_) return std::size_t{0};
+    if (s.rx_.size() > 0) {
+      std::size_t n = s.rx_.pop(out);
+      s.cv_.notify_all();  // a sender parked on a full queue
+      slk.unlock();
+      charge(((n + 1023) / 1024) * costs_.per_kib);
+      return n;
+    }
+    if (s.rx_eof_ || s.state_ == SockState::kClosed ||
+        (s.state_ == SockState::kConnected && s.peer_.expired())) {
+      return std::size_t{0};
+    }
+    if (s.state_ != SockState::kConnected) return Errno::kENOTCONN;
+    if (s.nonblock_) return Errno::kEAGAIN;
+    Errno be = block_on(slk, s.cv_, [&] {
+      return s.rx_.size() > 0 || s.rx_eof_ || s.rd_shutdown_ ||
+             s.state_ != SockState::kConnected || s.peer_.expired();
+    });
+    if (be != Errno::kOk) return be;
+  }
+}
+
+SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
+                         std::size_t n) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kSend);
+  USK_TRACE_LATENCY("net", "send");
+  USK_TRACEPOINT("net", "send", static_cast<std::uint64_t>(fd), n);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  // Validate the descriptor before the copy-in is charged (the uniform
+  // EBADF discipline: no boundary work on a bad fd).
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  n = std::min(n, uk::Kernel::kMaxIo);
+  std::vector<std::byte> kbuf(n);
+  k_.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
+  Result<std::size_t> r = send_from(*rs.value(), std::span(kbuf.data(), n));
+  if (!r) return scope.fail(r.error());
+  return scope.done(static_cast<SysRet>(r.value()));
+}
+
+SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kRecv);
+  USK_TRACE_LATENCY("net", "recv");
+  USK_TRACEPOINT("net", "recv", static_cast<std::uint64_t>(fd), n);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  n = std::min(n, uk::Kernel::kMaxIo);
+  std::vector<std::byte> kbuf(n);
+  Result<std::size_t> r = recv_into(*rs.value(), std::span(kbuf.data(), n));
+  if (!r) return scope.fail(r.error());
+  if (r.value() > 0) {
+    k_.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+  }
+  return scope.done(static_cast<SysRet>(r.value()));
+}
+
+// --- shutdown / close ------------------------------------------------------
+
+SysRet Net::sys_shutdown(uk::Process& p, int fd, int how) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kShutdown);
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return scope.fail(rs.error());
+  if (how != kShutRd && how != kShutWr && how != kShutRdWr) {
+    return scope.fail(Errno::kEINVAL);
+  }
+  Socket& s = *rs.value();
+  std::shared_ptr<Socket> peer;
+  {
+    std::lock_guard slk(s.mu_);
+    if (s.state_ != SockState::kConnected) return scope.fail(Errno::kENOTCONN);
+    if (how == kShutRd || how == kShutRdWr) s.rd_shutdown_ = true;
+    if (how == kShutWr || how == kShutRdWr) {
+      s.tx_shutdown_ = true;
+      peer = s.peer_.lock();
+    }
+    notify_watchers_locked(s);
+    s.cv_.notify_all();
+  }
+  if (peer != nullptr) {
+    std::lock_guard plk(peer->mu_);
+    peer->rx_eof_ = true;  // our FIN: peer's recv drains then returns 0
+    notify_watchers_locked(*peer);
+    peer->cv_.notify_all();
+  }
+  return scope.done(0);
+}
+
+void Net::drop_socket(const std::shared_ptr<Socket>& s) {
+  std::shared_ptr<Socket> peer;
+  std::deque<std::shared_ptr<Socket>> orphans;
+  {
+    std::lock_guard slk(s->mu_);
+    if (s->state_ == SockState::kClosed) return;
+    peer = s->peer_.lock();
+    orphans.swap(s->accept_q_);
+    s->state_ = SockState::kClosed;
+    s->rx_eof_ = true;
+    notify_watchers_locked(*s);
+    s->cv_.notify_all();
+  }
+  {
+    std::lock_guard tlk(tab_mu_);
+    sockets_.erase(s->id());
+    for (auto it = ports_.begin(); it != ports_.end();) {
+      std::shared_ptr<Socket> owner = it->second.lock();
+      if (owner == nullptr || owner == s) {
+        it = ports_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (peer != nullptr) {
+    std::lock_guard plk(peer->mu_);
+    peer->rx_eof_ = true;
+    notify_watchers_locked(*peer);
+    peer->cv_.notify_all();
+  }
+  // Connections queued on a closing listener never reach accept: reset
+  // both halves so their clients see EOF/ECONNRESET rather than hanging.
+  for (const std::shared_ptr<Socket>& conn : orphans) drop_socket(conn);
+}
+
+void Net::drop_epoll(const std::shared_ptr<Epoll>& ep) {
+  std::lock_guard tlk(tab_mu_);
+  epolls_.erase(ep->id());
+}
+
+void Net::fd_released(fs::InodeNum ino) {
+  if (std::shared_ptr<Socket> s = find_socket(ino)) {
+    if (s->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      drop_socket(s);
+    }
+    return;
+  }
+  if (std::shared_ptr<Epoll> ep = find_epoll(ino)) {
+    if (ep->refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      drop_epoll(ep);
+    }
+  }
+}
+
+void Net::fd_duped(fs::InodeNum ino) {
+  if (std::shared_ptr<Socket> s = find_socket(ino)) {
+    s->refs_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (std::shared_ptr<Epoll> ep = find_epoll(ino)) {
+    ep->refs_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace usk::net

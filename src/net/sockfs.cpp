@@ -1,0 +1,45 @@
+// SocketFs: fs::FileSystem adapter putting sockets behind the fd table.
+//
+// This is what makes a socket a first-class descriptor: Vfs::read/write
+// dispatch here via OpenFile::fsp, so read(2)/write(2) (and the Cosy
+// compound executor's kRead/kWrite, which go through the same Vfs entry
+// points) move bytes over the connection with recv/send semantics. The
+// file position the VFS maintains is ignored -- a stream has no offset.
+
+#include "net/net.hpp"
+
+namespace usk::net {
+
+Result<std::size_t> SocketFs::read(fs::InodeNum ino, std::uint64_t offset,
+                                   std::span<std::byte> out) {
+  (void)offset;
+  std::shared_ptr<Socket> s = net_.find_socket(ino);
+  if (s == nullptr) return Errno::kEINVAL;  // epoll fds are not readable
+  return net_.recv_into(*s, out);
+}
+
+Result<std::size_t> SocketFs::write(fs::InodeNum ino, std::uint64_t offset,
+                                    std::span<const std::byte> in) {
+  (void)offset;
+  std::shared_ptr<Socket> s = net_.find_socket(ino);
+  if (s == nullptr) return Errno::kEINVAL;
+  return net_.send_from(*s, in);
+}
+
+Errno SocketFs::getattr(fs::InodeNum ino, fs::StatBuf* st) {
+  std::shared_ptr<Socket> s = net_.find_socket(ino);
+  if (s == nullptr) return Errno::kEINVAL;
+  std::lock_guard lk(s->mu_);
+  *st = fs::StatBuf{};
+  st->ino = ino;
+  st->type = fs::FileType::kSocket;
+  st->mode = 0600;
+  st->size = s->rx_.size();  // readable bytes, like FIONREAD
+  return Errno::kOk;
+}
+
+void SocketFs::release_file(fs::InodeNum ino) { net_.fd_released(ino); }
+
+void SocketFs::dup_file(fs::InodeNum ino) { net_.fd_duped(ino); }
+
+}  // namespace usk::net

@@ -21,11 +21,25 @@ const char* sys_name(Sys nr) {
     case Sys::kSync: return "sync";
     case Sys::kLink: return "link";
     case Sys::kChmod: return "chmod";
+    case Sys::kDup: return "dup";
     case Sys::kReaddirPlus: return "readdirplus";
     case Sys::kOpenReadClose: return "open_read_close";
     case Sys::kOpenWriteClose: return "open_write_close";
     case Sys::kOpenFstat: return "open_fstat";
+    case Sys::kAcceptRecv: return "accept_recv";
+    case Sys::kSendfile: return "sendfile";
     case Sys::kCosy: return "cosy";
+    case Sys::kSocket: return "socket";
+    case Sys::kBind: return "bind";
+    case Sys::kListen: return "listen";
+    case Sys::kAccept: return "accept";
+    case Sys::kConnect: return "connect";
+    case Sys::kSend: return "send";
+    case Sys::kRecv: return "recv";
+    case Sys::kShutdown: return "shutdown";
+    case Sys::kEpollCreate: return "epoll_create";
+    case Sys::kEpollCtl: return "epoll_ctl";
+    case Sys::kEpollWait: return "epoll_wait";
     case Sys::kMaxSys: break;
   }
   return "sys?";

@@ -37,13 +37,29 @@ enum class Sys : std::uint16_t {
   kSync = 15,
   kLink = 16,
   kChmod = 17,
+  kDup = 18,
   // Consolidated calls:
   kReaddirPlus = 32,
   kOpenReadClose = 33,
   kOpenWriteClose = 34,
   kOpenFstat = 35,
+  // Server-side consolidated calls (src/net + src/consolidation):
+  kAcceptRecv = 36,
+  kSendfile = 37,
   // Compound execution:
   kCosy = 48,
+  // Network family (src/net):
+  kSocket = 50,
+  kBind = 51,
+  kListen = 52,
+  kAccept = 53,
+  kConnect = 54,
+  kSend = 55,
+  kRecv = 56,
+  kShutdown = 57,
+  kEpollCreate = 58,
+  kEpollCtl = 59,
+  kEpollWait = 60,
   kMaxSys = 64,
 };
 

@@ -107,6 +107,13 @@ SysRet Kernel::sys_close(Process& p, int fd) {
   return e == Errno::kOk ? scope.done(0) : scope.fail(e);
 }
 
+SysRet Kernel::sys_dup(Process& p, int fd) {
+  Scope scope(*this, p, Sys::kDup);
+  Result<int> r = vfs_.dup(p.fds, fd);
+  if (!r) return scope.fail(r.error());
+  return scope.done(r.value());
+}
+
 SysRet Kernel::sys_read(Process& p, int fd, void* ubuf, std::size_t n) {
   Scope scope(*this, p, Sys::kRead);
   if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
@@ -124,6 +131,13 @@ SysRet Kernel::sys_write(Process& p, int fd, const void* ubuf,
                          std::size_t n) {
   Scope scope(*this, p, Sys::kWrite);
   if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  // Validate the descriptor before paying for the copy-in: a bad or
+  // read-only fd must fail without charging the caller for user->kernel
+  // bytes (parity with sys_read, which never copies on EBADF).
+  fs::OpenFile* f = p.fds.get(fd);
+  if (f == nullptr || (f->flags & fs::kAccessMode) == fs::kORdOnly) {
+    return scope.fail(Errno::kEBADF);
+  }
   n = std::min(n, kMaxIo);
   std::vector<std::byte> kbuf(n);
   boundary_.copy_from_user(p.task, kbuf.data(), ubuf, n);

@@ -140,6 +140,8 @@ class Kernel {
   SysRet sys_open(Process& p, const char* upath, int flags,
                   std::uint32_t mode);
   SysRet sys_close(Process& p, int fd);
+  /// dup(2): duplicate `fd` into the lowest free descriptor slot.
+  SysRet sys_dup(Process& p, int fd);
   SysRet sys_read(Process& p, int fd, void* ubuf, std::size_t n);
   SysRet sys_write(Process& p, int fd, const void* ubuf, std::size_t n);
   SysRet sys_lseek(Process& p, int fd, std::int64_t off, int whence);

@@ -38,6 +38,7 @@ class Proc {
     return static_cast<int>(k_.sys_open(p_, path, flags, mode));
   }
   SysRet close(int fd) { return k_.sys_close(p_, fd); }
+  int dup(int fd) { return static_cast<int>(k_.sys_dup(p_, fd)); }
   SysRet read(int fd, void* buf, std::size_t n) {
     return k_.sys_read(p_, fd, buf, n);
   }

@@ -63,6 +63,25 @@ std::vector<Burst> burst_mix(TraceKind kind) {
           {{Sys::kOpen, Sys::kReaddir, Sys::kReaddir, Sys::kClose},
            Sys::kStat, 10, 120, 1},
       };
+    case TraceKind::kSocketServer:
+      return {
+          // One-shot HTTP request: accept, read the request, serve a file
+          // back over the connection, close it. accept->recv is the
+          // accept_recv candidate; open-read-send-close is the sendfile
+          // candidate (E8).
+          {{Sys::kAccept, Sys::kRecv, Sys::kOpen, Sys::kRead, Sys::kSend,
+            Sys::kClose, Sys::kClose},
+           Sys::kGetpid, 0, 0, 10},
+          // Keep-alive connection: several requests per accept.
+          {{Sys::kAccept, Sys::kRecv, Sys::kOpen, Sys::kRead, Sys::kSend,
+            Sys::kClose, Sys::kRecv, Sys::kOpen, Sys::kRead, Sys::kSend,
+            Sys::kClose, Sys::kClose},
+           Sys::kGetpid, 0, 0, 4},
+          // epoll dispatch loop around the bursts.
+          {{Sys::kEpollWait, Sys::kRecv, Sys::kSend}, Sys::kGetpid, 0, 0, 5},
+          // Access log append.
+          {{Sys::kOpen, Sys::kWrite, Sys::kClose}, Sys::kGetpid, 0, 0, 2},
+      };
   }
   return {};
 }

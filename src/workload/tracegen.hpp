@@ -28,6 +28,7 @@ enum class TraceKind {
   kWebServer,    ///< static-content HTTP: open-read-close + stat
   kMailServer,   ///< queue files: open-write-close, rename, unlink
   kLs,           ///< /bin/ls -l: readdir + stat per entry
+  kSocketServer, ///< epoll server: accept-recv-(open-read-send)-close
 };
 
 /// Generate a synthetic syscall sequence of roughly `approx_len` calls.

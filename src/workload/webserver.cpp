@@ -1,0 +1,282 @@
+#include "workload/webserver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "consolidation/servercalls.hpp"
+#include "cosy/exec.hpp"
+
+namespace usk::workload {
+
+const char* serve_mode_name(ServeMode m) {
+  switch (m) {
+    case ServeMode::kPlain: return "plain";
+    case ServeMode::kConsolidated: return "consolidated";
+    case ServeMode::kCosy: return "cosy";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Server-side read/send chunk: a classic 4 KiB stack buffer, so files
+/// larger than one page take several read+send rounds in plain mode.
+constexpr std::size_t kChunk = 4096;
+
+std::string www_path(const WebServerConfig& cfg, std::size_t i) {
+  return "/www/f" + std::to_string(i % cfg.files);
+}
+
+/// "GET <path>" (null-padded to kRequestBytes) -> <path>.
+std::string parse_path(const char* req) {
+  std::string s(req, strnlen(req, kRequestBytes));
+  std::size_t sp = s.find(' ');
+  if (sp == std::string::npos || sp + 1 >= s.size()) return {};
+  return s.substr(sp + 1);
+}
+
+/// Classic per-request serving: stat (size / If-Modified-Since check the
+/// way Apache does it), open, read+send chunk loop, close. Every file
+/// byte crosses the boundary twice (read copy-out, send copy-in).
+void serve_plain(uk::Proc& srv, net::Net& net, int connfd,
+                 const std::string& path) {
+  uk::Process& p = srv.process();
+  fs::StatBuf st{};
+  if (srv.stat(path.c_str(), &st) != 0) return;
+  int fd = srv.open(path.c_str(), fs::kORdOnly);
+  if (fd < 0) return;
+  std::byte buf[kChunk];
+  std::uint64_t left = st.size;
+  while (left > 0) {
+    std::size_t want = left < kChunk ? static_cast<std::size_t>(left) : kChunk;
+    SysRet n = srv.read(fd, buf, want);
+    if (n <= 0) break;
+    SysRet sent = net.sys_send(p, connfd, buf, static_cast<std::size_t>(n));
+    if (sent <= 0) break;
+    left -= static_cast<std::uint64_t>(n);
+  }
+  srv.close(fd);
+}
+
+/// One compound serves the whole keep-alive connection: the response to
+/// the already-received first request, then (recv request, open, read,
+/// close, send response) for each remaining request -- all in a single
+/// boundary crossing, all payload through the shared buffer.
+void serve_cosy(uk::Proc& srv, cosy::CosyExtension& ext,
+                const WebServerConfig& cfg, int connfd,
+                const std::string& path) {
+  cosy::CompoundBuilder b;
+  cosy::Arg pa = b.str(path);
+  const auto fb = static_cast<std::int64_t>(cfg.file_bytes);
+  const auto off = static_cast<std::int64_t>(kRequestBytes);
+  for (std::size_t r = 0; r < cfg.requests_per_conn; ++r) {
+    if (r > 0) {
+      b.read(cosy::imm(connfd), cosy::shared(0),
+             cosy::imm(static_cast<std::int64_t>(kRequestBytes)));
+    }
+    int o = b.open(pa, cosy::imm(fs::kORdOnly), cosy::imm(0));
+    b.read(cosy::result_of(o), cosy::shared(off), cosy::imm(fb));
+    b.close(cosy::result_of(o));
+    b.write(cosy::imm(connfd), cosy::shared(off), cosy::imm(fb));
+  }
+  cosy::Compound c = b.finish();
+  cosy::SharedBuffer shared(kRequestBytes + cfg.file_bytes);
+  ext.execute(srv.process(), c, shared);
+}
+
+struct ServerSample {
+  std::uint64_t syscalls = 0;
+  std::uint64_t user_bytes = 0;
+  std::uint64_t kernel_units = 0;
+  std::uint64_t conns = 0;
+};
+
+void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
+                   std::size_t w, std::atomic<bool>& ready,
+                   ServerSample& out) {
+  uk::Proc srv(k, "websrv" + std::to_string(w));
+  uk::Process& p = srv.process();
+  cosy::CosyExtension ext(k);
+  const auto port = static_cast<std::uint16_t>(cfg.base_port + w);
+
+  int lfd = static_cast<int>(net.sys_socket(p));
+  net.sys_bind(p, lfd, port);
+  net.sys_listen(p, lfd, 32);
+  int ep = static_cast<int>(net.sys_epoll_create(p));
+  net.sys_epoll_ctl(p, ep, net::kEpollCtlAdd, lfd, net::kEpollIn);
+  ready.store(true, std::memory_order_release);
+
+  std::size_t conns_done = 0;
+  std::vector<net::EpollEvent> evs(16);
+  char req[kRequestBytes];
+  while (conns_done < cfg.conns_per_worker) {
+    SysRet n = net.sys_epoll_wait(p, ep, evs.data(),
+                                  static_cast<int>(evs.size()), 50);
+    if (n < 0) break;  // killed by the watchdog
+    for (SysRet i = 0; i < n; ++i) {
+      const net::EpollEvent& ev = evs[static_cast<std::size_t>(i)];
+      if (ev.fd == lfd) {
+        switch (cfg.mode) {
+          case ServeMode::kPlain: {
+            int connfd = static_cast<int>(net.sys_accept(p, lfd));
+            if (connfd >= 0) {
+              net.sys_epoll_ctl(p, ep, net::kEpollCtlAdd, connfd,
+                                net::kEpollIn);
+            }
+            break;
+          }
+          case ServeMode::kConsolidated: {
+            int connfd = -1;
+            std::memset(req, 0, sizeof req);
+            SysRet r = consolidation::sys_accept_recv(
+                net, k, p, lfd, req, kRequestBytes, &connfd);
+            if (connfd < 0) break;
+            if (r > 0) {
+              consolidation::sys_sendfile(net, k, p, connfd,
+                                          parse_path(req).c_str(), 0,
+                                          cfg.file_bytes);
+            }
+            net.sys_epoll_ctl(p, ep, net::kEpollCtlAdd, connfd,
+                              net::kEpollIn);
+            break;
+          }
+          case ServeMode::kCosy: {
+            int connfd = static_cast<int>(net.sys_accept(p, lfd));
+            if (connfd < 0) break;
+            std::memset(req, 0, sizeof req);
+            if (net.sys_recv(p, connfd, req, kRequestBytes) > 0) {
+              serve_cosy(srv, ext, cfg, connfd, parse_path(req));
+            }
+            srv.close(connfd);
+            ++conns_done;
+            break;
+          }
+        }
+      } else {
+        int connfd = ev.fd;
+        std::memset(req, 0, sizeof req);
+        SysRet r = net.sys_recv(p, connfd, req, kRequestBytes);
+        if (r <= 0) {  // client closed (or error): retire the connection
+          net.sys_epoll_ctl(p, ep, net::kEpollCtlDel, connfd, 0);
+          srv.close(connfd);
+          ++conns_done;
+        } else if (cfg.mode == ServeMode::kConsolidated) {
+          consolidation::sys_sendfile(net, k, p, connfd,
+                                      parse_path(req).c_str(), 0,
+                                      cfg.file_bytes);
+        } else {
+          serve_plain(srv, net, connfd, parse_path(req));
+        }
+      }
+    }
+  }
+  srv.close(ep);
+  srv.close(lfd);
+
+  out.syscalls = srv.task().syscalls;
+  out.user_bytes = srv.task().bytes_from_user + srv.task().bytes_to_user;
+  out.kernel_units = srv.task().times().kernel;
+  out.conns = conns_done;
+}
+
+void client_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
+                   std::size_t w, std::atomic<bool>& srv_ready,
+                   std::atomic<std::uint64_t>& requests_ok) {
+  uk::Proc cli(k, "webcli" + std::to_string(w));
+  uk::Process& p = cli.process();
+  const auto port = static_cast<std::uint16_t>(cfg.base_port + w);
+  while (!srv_ready.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  std::vector<std::byte> buf(kChunk);
+  for (std::size_t c = 0; c < cfg.conns_per_worker; ++c) {
+    int fd = static_cast<int>(net.sys_socket(p));
+    if (fd < 0) break;
+    if (net.sys_connect(p, fd, port) != 0) {
+      cli.close(fd);
+      break;
+    }
+    std::string path = www_path(cfg, w * 31 + c);
+    char req[kRequestBytes] = {};
+    std::snprintf(req, sizeof req, "GET %s", path.c_str());
+    for (std::size_t r = 0; r < cfg.requests_per_conn; ++r) {
+      if (net.sys_send(p, fd, req, kRequestBytes) !=
+          static_cast<SysRet>(kRequestBytes)) {
+        break;
+      }
+      std::size_t got = 0;
+      while (got < cfg.file_bytes) {
+        SysRet n = net.sys_recv(p, fd, buf.data(), buf.size());
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      if (got != cfg.file_bytes) break;
+      requests_ok.fetch_add(1, std::memory_order_relaxed);
+    }
+    cli.close(fd);
+  }
+}
+
+}  // namespace
+
+void populate_www(uk::Proc& p, const WebServerConfig& cfg) {
+  p.mkdir("/www");
+  std::vector<std::byte> block(cfg.file_bytes, std::byte{0x42});
+  for (std::size_t i = 0; i < cfg.files; ++i) {
+    std::string path = www_path(cfg, i);
+    int fd = p.open(path.c_str(), fs::kOWrOnly | fs::kOCreat);
+    if (fd < 0) continue;
+    std::size_t written = 0;
+    while (written < cfg.file_bytes) {
+      SysRet n = p.write(fd, block.data() + written, cfg.file_bytes - written);
+      if (n <= 0) break;
+      written += static_cast<std::size_t>(n);
+    }
+    p.close(fd);
+  }
+}
+
+WebServerReport run_webserver(uk::Kernel& k, net::Net& net,
+                              const WebServerConfig& cfg) {
+  WebServerReport rep;
+  std::vector<ServerSample> samples(cfg.workers);
+  std::vector<std::unique_ptr<std::atomic<bool>>> ready;
+  ready.reserve(cfg.workers);
+  for (std::size_t w = 0; w < cfg.workers; ++w) {
+    ready.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  std::atomic<std::uint64_t> requests_ok{0};
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cfg.workers * 2);
+  for (std::size_t w = 0; w < cfg.workers; ++w) {
+    threads.emplace_back(server_worker, std::ref(k), std::ref(net),
+                         std::cref(cfg), w, std::ref(*ready[w]),
+                         std::ref(samples[w]));
+    threads.emplace_back(client_worker, std::ref(k), std::ref(net),
+                         std::cref(cfg), w, std::ref(*ready[w]),
+                         std::ref(requests_ok));
+  }
+  for (std::thread& t : threads) t.join();
+  auto t1 = std::chrono::steady_clock::now();
+
+  rep.requests = requests_ok.load();
+  rep.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  rep.req_per_sec =
+      rep.elapsed_s > 0 ? static_cast<double>(rep.requests) / rep.elapsed_s
+                        : 0.0;
+  for (const ServerSample& s : samples) {
+    rep.server_crossings += s.syscalls;
+    rep.server_user_bytes += s.user_bytes;
+    rep.server_kernel_units += s.kernel_units;
+    rep.conns += s.conns;
+  }
+  return rep;
+}
+
+}  // namespace usk::workload

@@ -71,6 +71,48 @@ TEST_F(KernelTest, CopyBytesAccounted) {
   proc_.close(rfd);
 }
 
+TEST_F(KernelTest, WriteBadFdFailsBeforeCopyIn) {
+  // EBADF on write must be reported before the copy-in is charged:
+  // the caller pays nothing for bytes the kernel never accepted.
+  char block[512];
+  std::memset(block, 'x', sizeof(block));
+  std::uint64_t from_before = kernel_.boundary().stats().bytes_from_user;
+  EXPECT_EQ(proc_.write(42, block, sizeof(block)), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(kernel_.boundary().stats().bytes_from_user, from_before);
+
+  // Same for a descriptor that exists but was opened read-only.
+  int fd = proc_.open("/ro.txt", fs::kOWrOnly | fs::kOCreat);
+  ASSERT_GE(fd, 0);
+  proc_.close(fd);
+  fd = proc_.open("/ro.txt", fs::kORdOnly);
+  ASSERT_GE(fd, 0);
+  from_before = kernel_.boundary().stats().bytes_from_user;
+  EXPECT_EQ(proc_.write(fd, block, sizeof(block)), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(kernel_.boundary().stats().bytes_from_user, from_before);
+  proc_.close(fd);
+}
+
+TEST_F(KernelTest, DupCopiesDescriptor) {
+  int fd = proc_.open("/d.txt", fs::kOWrOnly | fs::kOCreat);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(proc_.write(fd, "abcdef", 6), 6);
+  proc_.close(fd);
+
+  fd = proc_.open("/d.txt", fs::kORdOnly);
+  int d = proc_.dup(fd);
+  ASSERT_GE(d, 0);
+  EXPECT_NE(d, fd);
+  char buf[8] = {};
+  ASSERT_EQ(proc_.read(fd, buf, 3), 3);
+  // The duplicate carries its own file position (dup takes a snapshot).
+  ASSERT_EQ(proc_.read(d, buf, 6), 6);
+  EXPECT_EQ(std::string(buf, 6), "abcdef");
+  proc_.close(fd);
+  ASSERT_EQ(proc_.read(d, buf, 3), 0);  // still open via the dup; at EOF
+  proc_.close(d);
+  EXPECT_EQ(proc_.dup(99), sysret_err(Errno::kEBADF));
+}
+
 TEST_F(KernelTest, ErrnoReturnedAsNegative) {
   EXPECT_EQ(proc_.open("/missing", fs::kORdOnly),
             -static_cast<int>(Errno::kENOENT));

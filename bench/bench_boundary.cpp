@@ -45,8 +45,8 @@ void BM_CopyFromUser(benchmark::State& state) {
   std::vector<char> dst(n);
   f.proc.task().enter_kernel();
   for (auto _ : state) {
-    f.kernel.boundary().copy_from_user(f.proc.task(), dst.data(), src.data(),
-                                       n);
+    benchmark::DoNotOptimize(f.kernel.boundary().copy_from_user(
+        f.proc.task(), dst.data(), src.data(), n));
   }
   f.proc.task().exit_kernel();
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

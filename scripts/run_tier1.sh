@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Tier-1 verification, three configurations:
+#
+#   plain   the required suite (ctest label tier1) in the default build
+#   faults  the same kernel-path suites re-run with USK_FAIL_SPEC armed
+#           (label `faults`: seeded p=0.01 transient injection at kmalloc,
+#           the disk, and the network -- must pass with zero failures)
+#   asan    the fault soak again under AddressSanitizer, proving the
+#           injected error paths free everything they unwind past
+#
+# Usage: scripts/run_tier1.sh [plain|faults|asan|tsan|all]   (default: all)
+#
+# Build trees: build/ (plain + faults), build-asan/, build-tsan/. TSan is
+# optional (heavyweight); `all` runs plain+faults+asan, matching the
+# checked-in acceptance gates. Fails fast: the first red suite stops the
+# script with a nonzero exit.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+build() {  # build <dir> [extra cmake args...]
+  local dir="$1"; shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+}
+
+run_plain()  { build build; (cd build && ctest -L tier1 -LE faults -j "$jobs" --output-on-failure); }
+run_faults() { build build; (cd build && ctest -L faults -j "$jobs" --output-on-failure); }
+run_asan()   { build build-asan -DUSK_SANITIZE=address;
+               (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
+run_tsan()   { build build-tsan -DUSK_SANITIZE=thread;
+               (cd build-tsan && ctest -R Smp -j "$jobs" --output-on-failure); }
+
+case "$mode" in
+  plain)  run_plain ;;
+  faults) run_faults ;;
+  asan)   run_asan ;;
+  tsan)   run_tsan ;;
+  all)    run_plain; run_faults; run_asan ;;
+  *) echo "usage: $0 [plain|faults|asan|tsan|all]" >&2; exit 2 ;;
+esac
+echo "run_tier1: $mode OK"

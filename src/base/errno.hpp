@@ -1,14 +1,16 @@
-// Kernel-style status codes and a lightweight Result<T> carrier.
+// Kernel-style status codes (POSIX errno semantics).
 //
 // The simulated kernel ("usk") mirrors POSIX errno semantics: operations
 // return either a value or a negative status, exactly the convention Linux
-// system calls use at the user/kernel boundary.
+// system calls use at the user/kernel boundary. The typed error carrier
+// lives in base/result.hpp; this header re-exports it as usk::Result so
+// every subsystem keeps one include for status handling.
 #pragma once
 
 #include <cstdint>
 #include <string_view>
-#include <utility>
-#include <variant>
+
+#include "base/result.hpp"
 
 namespace usk {
 
@@ -53,40 +55,29 @@ enum class Errno : std::int32_t {
 /// Human-readable name for an error code (for klog and test diagnostics).
 std::string_view errno_name(Errno e);
 
-/// Result<T>: either a value or an Errno. Modeled after kernel ERR_PTR usage
-/// but type-safe. `T` must be cheap to move.
+/// The kernel-internal error carrier (see base/result.hpp).
 template <typename T>
-class Result {
- public:
-  Result(T value) : v_(std::move(value)) {}           // NOLINT(google-explicit-constructor)
-  Result(Errno e) : v_(e) {}                          // NOLINT(google-explicit-constructor)
-
-  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
-  explicit operator bool() const { return ok(); }
-
-  [[nodiscard]] Errno error() const {
-    return ok() ? Errno::kOk : std::get<Errno>(v_);
-  }
-
-  [[nodiscard]] T& value() & { return std::get<T>(v_); }
-  [[nodiscard]] const T& value() const& { return std::get<T>(v_); }
-  [[nodiscard]] T&& value() && { return std::get<T>(std::move(v_)); }
-
-  [[nodiscard]] T value_or(T fallback) const {
-    return ok() ? std::get<T>(v_) : std::move(fallback);
-  }
-
- private:
-  std::variant<T, Errno> v_;
-};
+using Result = base::Result<T>;
 
 /// Linux-style: syscalls return ssize_t where negative values are -errno.
+/// This representation survives ONLY at the syscall boundary; internal
+/// interfaces use Result<T>, converted by to_sysret() in the gateway.
 using SysRet = std::int64_t;
 
 constexpr SysRet sysret_err(Errno e) { return -static_cast<SysRet>(e); }
 constexpr bool sysret_is_err(SysRet r) { return r < 0; }
 constexpr Errno sysret_errno(SysRet r) {
   return r < 0 ? static_cast<Errno>(-r) : Errno::kOk;
+}
+
+/// Boundary conversion, value-carrying form: ok -> the value (widened),
+/// error -> -errno.
+template <typename T>
+constexpr SysRet to_sysret(const base::Result<T>& r) {
+  return r.ok() ? static_cast<SysRet>(r.value()) : sysret_err(r.error());
+}
+inline SysRet to_sysret(const base::Result<void>& r) {
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
 }  // namespace usk

@@ -36,27 +36,42 @@ class BufferCache {
   BufferCache(const BufferCache&) = delete;
   BufferCache& operator=(const BufferCache&) = delete;
 
-  /// Bring `lba` into the cache for reading.
-  void read(Lba lba) { access(lba, /*dirty=*/false); }
+  /// Bring `lba` into the cache for reading. kEIO if the miss fill (or a
+  /// dirty eviction making room for it) fails.
+  [[nodiscard]] Result<void> read(Lba lba) {
+    return access(lba, /*dirty=*/false);
+  }
   /// Bring `lba` into the cache and dirty it (write-back).
-  void write(Lba lba) { access(lba, /*dirty=*/true); }
+  [[nodiscard]] Result<void> write(Lba lba) {
+    return access(lba, /*dirty=*/true);
+  }
 
   /// Write every dirty block back to disk (sync(2) / journal commit).
-  void flush() {
+  /// A block whose writeback fails stays dirty -- sync can be retried --
+  /// and the first error is returned after attempting every block.
+  [[nodiscard]] Result<void> flush() {
+    Result<void> rc{};
     for (auto& [lba, entry] : map_) {
       if (entry.dirty) {
-        disk_.write(lba);
+        if (Result<void> r = disk_.write(lba); !r.ok()) {
+          if (rc.ok()) rc = r;
+          continue;
+        }
         entry.dirty = false;
         ++stats_.writebacks;
       }
     }
+    return rc;
   }
 
-  /// Drop everything (unmount); dirty blocks are written back first.
-  void clear() {
-    flush();
+  /// Drop everything (unmount); dirty blocks are written back first. The
+  /// cache empties even if a writeback failed (surfaced in the result) --
+  /// unmount does not retry.
+  Result<void> clear() {
+    Result<void> r = flush();
     map_.clear();
     lru_.clear();
+    return r;
   }
 
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
@@ -69,7 +84,7 @@ class BufferCache {
     bool dirty = false;
   };
 
-  void access(Lba lba, bool dirty) {
+  Result<void> access(Lba lba, bool dirty) {
     ++stats_.lookups;
     auto it = map_.find(lba);
     if (it != map_.end()) {
@@ -78,27 +93,32 @@ class BufferCache {
       lru_.push_front(lba);
       it->second.lru_it = lru_.begin();
       it->second.dirty |= dirty;
-      return;
+      return {};
     }
     ++stats_.misses;
-    if (map_.size() >= capacity_) evict_one();
+    if (map_.size() >= capacity_) USK_TRY(evict_one());
     // A write of a whole block still reads it first in this model (the
     // filesystems do read-modify-write at sub-block granularity).
-    disk_.read(lba);
+    USK_TRY(disk_.read(lba));
     lru_.push_front(lba);
     map_.emplace(lba, Entry{lru_.begin(), dirty});
+    return {};
   }
 
-  void evict_one() {
+  Result<void> evict_one() {
     Lba victim = lru_.back();
-    lru_.pop_back();
     auto it = map_.find(victim);
     if (it->second.dirty) {
-      disk_.write(victim);
+      // Failed writeback: the victim stays cached and dirty (no data is
+      // dropped on the floor); the access that needed the slot fails.
+      USK_TRY(disk_.write(victim));
+      it->second.dirty = false;
       ++stats_.writebacks;
     }
+    lru_.pop_back();
     map_.erase(it);
     ++stats_.evictions;
+    return {};
   }
 
   Disk& disk_;

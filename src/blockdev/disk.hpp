@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "base/errno.hpp"
 #include "base/work.hpp"
+#include "fault/kfail.hpp"
 
 namespace usk::blockdev {
 
@@ -42,6 +44,9 @@ struct DiskStats {
   std::uint64_t sequential_hits = 0;
   std::uint64_t total_seek_distance = 0;
   std::uint64_t units_charged = 0;
+  std::uint64_t media_errors = 0;    ///< kfail hard EIO injections
+  std::uint64_t retries = 0;         ///< kfail transient sector retries
+  std::uint64_t latency_spikes = 0;  ///< kfail injected seek storms
 };
 
 class Disk {
@@ -55,8 +60,15 @@ class Disk {
     charge_ = std::move(hook);
   }
 
-  void read(Lba lba) { access(lba, /*write=*/false); }
-  void write(Lba lba) { access(lba, /*write=*/true); }
+  /// Fallible media access: kEIO under kfail's disk.read/disk.write sites,
+  /// kOk otherwise. The cost model charges even on a failed access -- the
+  /// head moved and the platter spun before the medium reported the error.
+  [[nodiscard]] Result<void> read(Lba lba) {
+    return access(lba, /*write=*/false);
+  }
+  [[nodiscard]] Result<void> write(Lba lba) {
+    return access(lba, /*write=*/true);
+  }
 
   [[nodiscard]] Lba size() const { return blocks_; }
   [[nodiscard]] Lba head() const { return head_; }
@@ -64,7 +76,7 @@ class Disk {
   [[nodiscard]] const DiskModel& model() const { return model_; }
 
  private:
-  void access(Lba lba, bool write) {
+  Result<void> access(Lba lba, bool write) {
     if (write) {
       ++stats_.writes;
     } else {
@@ -90,8 +102,31 @@ class Disk {
                model_.rotational;
     }
     head_ = lba + 1;  // transfer leaves the head after the block
+    if (auto f = USK_FAIL_POINT(write ? fault::Site::kDiskWrite
+                                      : fault::Site::kDiskRead);
+        f.fail || f.transient) {
+      if (f.fail) {
+        ++stats_.media_errors;
+        stats_.units_charged += units;
+        if (charge_) charge_(units);
+        return f.err;
+      }
+      // Transient media error: the sector reads clean on retry, one
+      // rotation later.
+      ++stats_.retries;
+      units += model_.rotational;
+    }
+    if (auto f = USK_FAIL_POINT(fault::Site::kDiskLatency);
+        f.fail || f.transient) {
+      // Seek storm: the access completes, but only after a full-stroke
+      // seek's worth of extra latency (e.g. thermal recalibration).
+      ++stats_.latency_spikes;
+      units +=
+          model_.seek_base + model_.seek_per_log2 * 30 + model_.rotational;
+    }
     stats_.units_charged += units;
     if (charge_) charge_(units);
+    return {};
   }
 
   Lba blocks_;

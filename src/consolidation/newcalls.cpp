@@ -15,10 +15,10 @@ namespace {
 std::int64_t fetch_path(Kernel& k, Process& p, const char* upath,
                         char* kpath) {
   if (upath == nullptr) return sysret_err(Errno::kEFAULT);
-  std::int64_t len =
+  Result<std::size_t> len =
       k.boundary().strncpy_from_user(p.task, kpath, upath, Kernel::kMaxPath);
-  if (len < 0) return sysret_err(Errno::kENAMETOOLONG);
-  return len;
+  if (!len) return sysret_err(len.error());
+  return static_cast<std::int64_t>(len.value());
 }
 
 }  // namespace
@@ -34,7 +34,11 @@ SysRet sys_readdirplus(Kernel& k, Process& p, const char* upath, void* ubuf,
   if (len < 0) return scope.done(len);
 
   std::uint64_t cookie = 0;
-  k.boundary().copy_from_user(p.task, &cookie, ucookie, sizeof(cookie));
+  if (Result<std::size_t> c =
+          k.boundary().copy_from_user(p.task, &cookie, ucookie, sizeof(cookie));
+      !c) {
+    return scope.fail(c.error());
+  }
 
   Result<fs::Vfs::Loc> dir = k.vfs().resolve_loc(
       std::string_view(kpath, static_cast<std::size_t>(len)));
@@ -66,9 +70,21 @@ SysRet sys_readdirplus(Kernel& k, Process& p, const char* upath, void* ubuf,
     off += rec;
     ++taken;
   }
+  // Entries first, cookie second: if either copy-out faults the cookie in
+  // user memory still matches what the user actually received.
+  if (off > 0) {
+    if (Result<std::size_t> c =
+            k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), off);
+        !c) {
+      return scope.fail(c.error());
+    }
+  }
   cookie += taken;
-  k.boundary().copy_to_user(p.task, ucookie, &cookie, sizeof(cookie));
-  if (off > 0) k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), off);
+  if (Result<std::size_t> c =
+          k.boundary().copy_to_user(p.task, ucookie, &cookie, sizeof(cookie));
+      !c) {
+    return scope.fail(c.error());
+  }
   return scope.done(static_cast<SysRet>(off));
 }
 
@@ -99,7 +115,11 @@ SysRet sys_open_read_close(Kernel& k, Process& p, const char* upath,
   k.vfs().close(p.fds, fd.value());
   if (!r) return scope.fail(r.error());
   if (r.value() > 0) {
-    k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+    if (Result<std::size_t> c =
+            k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+        !c) {
+      return scope.fail(c.error());
+    }
   }
   return scope.done(static_cast<SysRet>(r.value()));
 }
@@ -122,7 +142,12 @@ SysRet sys_open_write_close(Kernel& k, Process& p, const char* upath,
 
   n = std::min(n, Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
-  k.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
+  if (Result<std::size_t> c =
+          k.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
+      !c) {
+    k.vfs().close(p.fds, fd.value());
+    return scope.fail(c.error());
+  }
   if ((flags & fs::kOAppend) == 0) {
     Result<std::uint64_t> pos = k.vfs().lseek(
         p.fds, fd.value(), static_cast<std::int64_t>(offset), fs::kSeekSet);
@@ -154,7 +179,11 @@ SysRet sys_open_fstat(Kernel& k, Process& p, const char* upath,
   Errno e = k.vfs().fstat(p.fds, fd.value(), &st);
   k.vfs().close(p.fds, fd.value());
   if (e != Errno::kOk) return scope.fail(e);
-  k.boundary().copy_to_user(p.task, ust, &st, sizeof(st));
+  if (Result<std::size_t> c =
+          k.boundary().copy_to_user(p.task, ust, &st, sizeof(st));
+      !c) {
+    return scope.fail(c.error());
+  }
   return scope.done(0);
 }
 

@@ -30,14 +30,27 @@ SysRet sys_accept_recv(net::Net& net, Kernel& k, Process& p, int listenfd,
   Result<std::size_t> r = net.recv_into(*conn, std::span(kbuf.data(), n));
   if (!r) {
     // The accept succeeded; hand the fd back even though the first read
-    // failed (EAGAIN on a nonblocking empty connection is normal).
-    k.boundary().copy_to_user(p.task, uconnfd, &connfd.value(),
-                              sizeof(int));
+    // failed (EAGAIN on a nonblocking empty connection is normal). A
+    // faulted fd copy-out trumps the recv error -- the user can't learn
+    // the fd, so EFAULT is what they must see.
+    if (Result<std::size_t> c = k.boundary().copy_to_user(
+            p.task, uconnfd, &connfd.value(), sizeof(int));
+        !c) {
+      return scope.fail(c.error());
+    }
     return scope.fail(r.error());
   }
-  k.boundary().copy_to_user(p.task, uconnfd, &connfd.value(), sizeof(int));
+  if (Result<std::size_t> c = k.boundary().copy_to_user(
+          p.task, uconnfd, &connfd.value(), sizeof(int));
+      !c) {
+    return scope.fail(c.error());
+  }
   if (r.value() > 0) {
-    k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+    if (Result<std::size_t> c =
+            k.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+        !c) {
+      return scope.fail(c.error());
+    }
   }
   return scope.done(static_cast<SysRet>(r.value()));
 }
@@ -54,12 +67,13 @@ SysRet sys_sendfile(net::Net& net, Kernel& k, Process& p, int sockfd,
   if (!rs) return scope.fail(rs.error());
   if (upath == nullptr) return scope.fail(Errno::kEFAULT);
   char kpath[Kernel::kMaxPath];
-  std::int64_t len =
+  Result<std::size_t> plen =
       k.boundary().strncpy_from_user(p.task, kpath, upath, Kernel::kMaxPath);
-  if (len < 0) return scope.fail(Errno::kENAMETOOLONG);
+  if (!plen) return scope.fail(plen.error());
+  const std::size_t len = plen.value();
 
   Result<int> fd = k.vfs().open(
-      p.fds, std::string_view(kpath, static_cast<std::size_t>(len)),
+      p.fds, std::string_view(kpath, len),
       fs::kORdOnly, 0);
   if (!fd) return scope.fail(fd.error());
 

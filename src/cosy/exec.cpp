@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "base/klog.hpp"
+#include "fault/kfail.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::cosy {
@@ -65,11 +66,31 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
   std::uint64_t executed = 0;
   bool done = false;
 
+  // Descriptors opened by THIS compound, for rollback if kfail aborts it
+  // mid-stream: a half-run compound must not leak fds into the process
+  // (the caller never learned their numbers, so nobody would close them).
+  std::vector<int> opened_fds;
+  auto fault_abort = [&](Errno e) {
+    for (int ofd : opened_fds) {
+      if (vfs.close(p.fds, ofd) == Errno::kOk) ++stats_.fds_rolled_back;
+    }
+    ++stats_.fault_aborts;
+    ++stats_.aborted;
+    out.ret = scope.fail(e);
+    return out;
+  };
+
   while (!done) {
     if (executed++ > kMaxExecutedOps) {
       out.ret = scope.fail(Errno::kETIME);
       ++stats_.aborted;
       return out;
+    }
+    // The injection point sits BETWEEN ops: a compound can die after any
+    // prefix, which is exactly the partial-completion schedule the
+    // rollback above must survive.
+    if (auto f = USK_FAIL_POINT(fault::Site::kCosyOp); f.fail) {
+      return fault_abort(f.err);
     }
     const std::size_t cur = pc;
     const OpRecord& rec = c.ops[cur];
@@ -94,11 +115,18 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
         Result<int> fd = vfs.open(p.fds, sv(rec.args[0]),
                                   static_cast<int>(val(rec.args[1])),
                                   static_cast<std::uint32_t>(val(rec.args[2])));
+        if (fd) opened_fds.push_back(fd.value());
         r = fd ? fd.value() : sysret_err(fd.error());
         break;
       }
       case Op::kClose: {
-        Errno e = vfs.close(p.fds, static_cast<int>(val(rec.args[0])));
+        const int cfd = static_cast<int>(val(rec.args[0]));
+        Errno e = vfs.close(p.fds, cfd);
+        if (e == Errno::kOk) {
+          opened_fds.erase(
+              std::remove(opened_fds.begin(), opened_fds.end(), cfd),
+              opened_fds.end());
+        }
         r = e == Errno::kOk ? 0 : sysret_err(e);
         break;
       }

@@ -25,6 +25,8 @@ struct ExecStats {
   std::uint64_t back_edges = 0;
   std::uint64_t validation_failures = 0;
   std::uint64_t aborted = 0;  ///< compounds stopped early (error/kill)
+  std::uint64_t fault_aborts = 0;   ///< kfail-injected mid-compound aborts
+  std::uint64_t fds_rolled_back = 0;  ///< fds closed by abort cleanup
   std::uint64_t trust_promotions = 0;  ///< functions switched to fast mode
   std::uint64_t trust_demotions = 0;   ///< violators re-isolated
 };

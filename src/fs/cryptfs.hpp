@@ -44,26 +44,26 @@ class CryptFs final : public FileSystem {
                           std::uint32_t mode) override {
     return lower_.create(dir, name, type, mode);
   }
-  Errno unlink(InodeNum dir, std::string_view name) override {
+  Result<void> unlink(InodeNum dir, std::string_view name) override {
     return lower_.unlink(dir, name);
   }
-  Errno link(InodeNum dir, std::string_view name, InodeNum target) override {
+  Result<void> link(InodeNum dir, std::string_view name, InodeNum target) override {
     return lower_.link(dir, name, target);
   }
-  Errno chmod(InodeNum ino, std::uint32_t mode) override {
+  Result<void> chmod(InodeNum ino, std::uint32_t mode) override {
     return lower_.chmod(ino, mode);
   }
-  Errno rmdir(InodeNum dir, std::string_view name) override {
+  Result<void> rmdir(InodeNum dir, std::string_view name) override {
     return lower_.rmdir(dir, name);
   }
-  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+  Result<void> rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
                std::string_view dst_name) override {
     return lower_.rename(src_dir, src_name, dst_dir, dst_name);
   }
-  Errno truncate(InodeNum ino, std::uint64_t size) override {
+  Result<void> truncate(InodeNum ino, std::uint64_t size) override {
     return lower_.truncate(ino, size);
   }
-  Errno getattr(InodeNum ino, StatBuf* st) override {
+  Result<void> getattr(InodeNum ino, StatBuf* st) override {
     return lower_.getattr(ino, st);
   }
   Result<std::vector<DirEntry>> readdir(InodeNum dir) override {
@@ -73,7 +73,7 @@ class CryptFs final : public FileSystem {
       InodeNum dir, std::size_t start, std::size_t max_entries) override {
     return lower_.readdir_window(dir, start, max_entries);
   }
-  Errno sync() override { return lower_.sync(); }
+  Result<void> sync() override { return lower_.sync(); }
 
   // Data operations encrypt/decrypt through wrapper-owned buffers.
   Result<std::size_t> read(InodeNum ino, std::uint64_t offset,

@@ -31,11 +31,11 @@ class FileSystem {
   virtual Result<InodeNum> create(InodeNum dir, std::string_view name,
                                   FileType type, std::uint32_t mode) = 0;
 
-  virtual Errno unlink(InodeNum dir, std::string_view name) = 0;
+  virtual Result<void> unlink(InodeNum dir, std::string_view name) = 0;
 
   /// Hard link: add `name` in `dir` referring to existing inode `target`.
   /// Optional (ENOSYS by default); links to directories are rejected.
-  virtual Errno link(InodeNum dir, std::string_view name, InodeNum target) {
+  virtual Result<void> link(InodeNum dir, std::string_view name, InodeNum target) {
     (void)dir;
     (void)name;
     (void)target;
@@ -43,23 +43,23 @@ class FileSystem {
   }
 
   /// Change permission bits. Optional (ENOSYS by default).
-  virtual Errno chmod(InodeNum ino, std::uint32_t mode) {
+  virtual Result<void> chmod(InodeNum ino, std::uint32_t mode) {
     (void)ino;
     (void)mode;
     return Errno::kENOSYS;
   }
 
-  virtual Errno rmdir(InodeNum dir, std::string_view name) = 0;
-  virtual Errno rename(InodeNum src_dir, std::string_view src_name,
+  virtual Result<void> rmdir(InodeNum dir, std::string_view name) = 0;
+  virtual Result<void> rename(InodeNum src_dir, std::string_view src_name,
                        InodeNum dst_dir, std::string_view dst_name) = 0;
 
   virtual Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
                                    std::span<std::byte> out) = 0;
   virtual Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
                                     std::span<const std::byte> in) = 0;
-  virtual Errno truncate(InodeNum ino, std::uint64_t size) = 0;
+  virtual Result<void> truncate(InodeNum ino, std::uint64_t size) = 0;
 
-  virtual Errno getattr(InodeNum ino, StatBuf* st) = 0;
+  virtual Result<void> getattr(InodeNum ino, StatBuf* st) = 0;
   virtual Result<std::vector<DirEntry>> readdir(InodeNum dir) = 0;
 
   /// Windowed directory read for getdents-style resumable listing: up to
@@ -81,7 +81,7 @@ class FileSystem {
   /// Hook invoked by the VFS when a file is opened (after the existence
   /// and type checks pass). Synthetic filesystems (ProcFs) render their
   /// content here; stored filesystems have nothing to do.
-  virtual Errno open_file(InodeNum ino) {
+  virtual Result<void> open_file(InodeNum ino) {
     (void)ino;
     return Errno::kOk;
   }
@@ -94,7 +94,7 @@ class FileSystem {
   virtual void dup_file(InodeNum ino) { (void)ino; }
 
   /// Flush pending state (journals). Default: nothing to do.
-  virtual Errno sync() { return Errno::kOk; }
+  virtual Result<void> sync() { return Errno::kOk; }
 };
 
 }  // namespace usk::fs

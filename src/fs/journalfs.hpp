@@ -27,6 +27,7 @@
 #include <string>
 
 #include "base/errno.hpp"
+#include "fault/kfail.hpp"
 #include "fs/filesystem.hpp"
 #include "blockdev/buffer_cache.hpp"
 #include "fs/memfs.hpp"  // FsCosts
@@ -61,6 +62,8 @@ struct JournalFsStats {
   std::uint64_t blocks_allocated = 0;
   std::uint64_t blocks_freed = 0;
   std::uint64_t bitmap_scan_steps = 0;
+  std::uint64_t commit_markers = 0;  ///< txn commit records (crash-sim mode)
+  std::uint64_t torn_records = 0;    ///< kfail disk.torn injections absorbed
 };
 
 template <class Policy = RawPtrPolicy>
@@ -95,9 +98,20 @@ class JournalFs final : public FileSystem {
   };
   static_assert(sizeof(Dirent) <= kDirentSize);
 
+  /// What a journal record redoes at recovery.
+  enum class JRecKind : std::uint8_t {
+    kBlock = 0,   ///< post-image of data block `target`
+    kInode = 1,   ///< post-image of inode `target`
+    kBitmap = 2,  ///< bitmap delta: block `target` -> payload[0]
+    kCommit = 3,  ///< transaction commit marker
+  };
+
   struct JournalRecord {
     std::uint64_t seq;
-    std::uint32_t block;
+    std::uint64_t checksum;  ///< FNV-1a over header + payload[0..len)
+    std::uint32_t target;
+    std::uint32_t len;  ///< valid payload bytes
+    std::uint8_t kind;
     std::uint8_t payload[kBlockSize];
   };
 
@@ -162,6 +176,7 @@ class JournalFs final : public FileSystem {
   Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
                           std::uint32_t mode) override {
     charge(costs_.create);
+    TxnScope txn(*this);
     if (name.empty() || name.size() > kMaxNameLen) return Errno::kENAMETOOLONG;
     DiskInode* d = dir_inode(dir);
     if (d == nullptr) return Errno::kENOTDIR;
@@ -195,13 +210,15 @@ class JournalFs final : public FileSystem {
     return static_cast<InodeNum>(idx + 1);
   }
 
-  Errno unlink(InodeNum dir, std::string_view name) override {
+  Result<void> unlink(InodeNum dir, std::string_view name) override {
     charge(costs_.remove);
+    TxnScope txn(*this);
     return remove_entry(dir, name, /*want_dir=*/false);
   }
 
-  Errno link(InodeNum dir, std::string_view name, InodeNum target) override {
+  Result<void> link(InodeNum dir, std::string_view name, InodeNum target) override {
     charge(costs_.create);
+    TxnScope txn(*this);
     if (name.empty() || name.size() > kMaxNameLen) return Errno::kENAMETOOLONG;
     DiskInode* d = dir_inode(dir);
     if (d == nullptr) return Errno::kENOTDIR;
@@ -221,8 +238,9 @@ class JournalFs final : public FileSystem {
     return Errno::kOk;
   }
 
-  Errno chmod(InodeNum ino, std::uint32_t mode) override {
+  Result<void> chmod(InodeNum ino, std::uint32_t mode) override {
     charge(costs_.getattr);
+    TxnScope txn(*this);
     DiskInode* n = inode(ino);
     if (n == nullptr) return Errno::kENOENT;
     n->mode = mode;
@@ -231,14 +249,16 @@ class JournalFs final : public FileSystem {
     return Errno::kOk;
   }
 
-  Errno rmdir(InodeNum dir, std::string_view name) override {
+  Result<void> rmdir(InodeNum dir, std::string_view name) override {
     charge(costs_.remove);
+    TxnScope txn(*this);
     return remove_entry(dir, name, /*want_dir=*/true);
   }
 
-  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+  Result<void> rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
                std::string_view dst_name) override {
     charge(costs_.rename);
+    TxnScope txn(*this);
     if (dst_name.size() > kMaxNameLen) return Errno::kENAMETOOLONG;
     DiskInode* sd = dir_inode(src_dir);
     DiskInode* dd = dir_inode(dst_dir);
@@ -290,7 +310,11 @@ class JournalFs final : public FileSystem {
       if (blk == 0) {
         std::memset(out.data() + done, 0, chunk);  // hole
       } else {
-        io_touch_data(blk, /*write=*/false);
+        if (Result<void> io = io_touch_data(blk, /*write=*/false); !io.ok()) {
+          // Partial read before the media error still counts (POSIX).
+          return done > 0 ? Result<std::size_t>(done)
+                          : Result<std::size_t>(io.error());
+        }
         Ptr<std::uint8_t> src = data_ + (blk - 1) * kBlockSize + boff;
         auto* dst = reinterpret_cast<std::uint8_t*>(out.data() + done);
         for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
@@ -304,6 +328,7 @@ class JournalFs final : public FileSystem {
   Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
                             std::span<const std::byte> in) override {
     charge(costs_.data_per_kib * (in.size() + 1023) / 1024 + 10);
+    TxnScope txn(*this);
     DiskInode* n = inode(ino);
     if (n == nullptr) return Errno::kENOENT;
     if (file_type(*n) == FileType::kDirectory) return Errno::kEISDIR;
@@ -317,7 +342,10 @@ class JournalFs final : public FileSystem {
                                     : Result<std::size_t>(Errno::kENOSPC);
       std::size_t boff = pos % kBlockSize;
       std::size_t chunk = std::min(in.size() - done, kBlockSize - boff);
-      io_touch_data(blk, /*write=*/true);
+      if (Result<void> io = io_touch_data(blk, /*write=*/true); !io.ok()) {
+        return done > 0 ? Result<std::size_t>(done)
+                        : Result<std::size_t>(io.error());
+      }
       Ptr<std::uint8_t> dst = data_ + (blk - 1) * kBlockSize + boff;
       const auto* src = reinterpret_cast<const std::uint8_t*>(in.data() + done);
       for (std::size_t i = 0; i < chunk; ++i) dst[i] = src[i];
@@ -330,8 +358,9 @@ class JournalFs final : public FileSystem {
     return in.size();
   }
 
-  Errno truncate(InodeNum ino, std::uint64_t size) override {
+  Result<void> truncate(InodeNum ino, std::uint64_t size) override {
     charge(costs_.truncate);
+    TxnScope txn(*this);
     DiskInode* n = inode(ino);
     if (n == nullptr) return Errno::kENOENT;
     if (file_type(*n) == FileType::kDirectory) return Errno::kEISDIR;
@@ -346,7 +375,7 @@ class JournalFs final : public FileSystem {
     return Errno::kOk;
   }
 
-  Errno getattr(InodeNum ino, StatBuf* st) override {
+  Result<void> getattr(InodeNum ino, StatBuf* st) override {
     charge(costs_.getattr);
     DiskInode* n = inode(ino);
     if (n == nullptr) return Errno::kENOENT;
@@ -385,12 +414,84 @@ class JournalFs final : public FileSystem {
     return out;
   }
 
-  Errno sync() override {
-    commit_journal();
-    return Errno::kOk;
-  }
+  Result<void> sync() override { return commit_journal(); }
 
   [[nodiscard]] const JournalFsStats& jstats() const { return jstats_; }
+
+  // --- crash consistency -----------------------------------------------------
+  /// Turn on crash simulation. From here on:
+  ///   * every mutating operation is one transaction, closed by a
+  ///     checksummed commit-marker record in the journal;
+  ///   * bitmap deltas and every touched inode are journaled, so a
+  ///     transaction's records fully redo it;
+  ///   * checkpoints (which reclaim the journal and advance the "stable"
+  ///     on-platter image) happen only at transaction boundaries;
+  ///   * kfail's disk.torn site can tear any journal record as it is
+  ///     written -- the corruption is invisible until recovery.
+  void enable_crash_sim() {
+    crash_sim_ = true;
+    (void)commit_journal();  // checkpoint: current state becomes stable
+  }
+  [[nodiscard]] bool crash_sim_enabled() const { return crash_sim_; }
+
+  struct CrashReport {
+    std::size_t records_scanned = 0;
+    std::size_t txns_applied = 0;    ///< complete, checksum-clean txns redone
+    std::size_t txns_discarded = 0;  ///< torn or uncommitted tail txns
+    bool found_torn = false;         ///< a record failed checksum validation
+  };
+
+  /// Simulated power loss + journal recovery. Live memory is discarded:
+  /// the filesystem reverts to the stable image of the last checkpoint,
+  /// then the journal is replayed in sequence order. A transaction is
+  /// redone only if every one of its records is checksum-clean and a
+  /// valid commit marker terminates it; the first torn record ends the
+  /// usable log (everything after it is discarded), exactly the contract
+  /// of a physical redo journal. The recovered state becomes the new
+  /// stable image. Requires enable_crash_sim().
+  CrashReport simulate_crash() {
+    CrashReport rep;
+    if (!crash_sim_ || !stable_valid_) return rep;
+    // The journal strip survives the crash; copy it out before reverting.
+    std::size_t nrec = std::min(journal_head_, journal_slots_);
+    std::vector<JournalRecord> log(nrec);
+    for (std::size_t i = 0; i < nrec; ++i) log[i] = journal_[i];
+    restore_stable();
+
+    std::size_t txn_start = 0;  // index of first record of the open txn
+    std::size_t stop = nrec;
+    for (std::size_t i = 0; i < nrec; ++i) {
+      ++rep.records_scanned;
+      if (!record_valid(log[i])) {
+        rep.found_torn = true;
+        stop = i;
+        break;
+      }
+      if (static_cast<JRecKind>(log[i].kind) == JRecKind::kCommit) {
+        for (std::size_t r = txn_start; r < i; ++r) apply_record(log[r]);
+        ++rep.txns_applied;
+        txn_start = i + 1;
+      }
+    }
+    // Count what the crash cost: commit markers at/after the stop point
+    // plus a trailing marker-less fragment.
+    bool open_txn = txn_start < stop;
+    for (std::size_t i = stop; i < nrec; ++i) {
+      if (static_cast<JRecKind>(log[i].kind) == JRecKind::kCommit) {
+        ++rep.txns_discarded;
+        open_txn = false;
+      } else {
+        open_txn = true;
+      }
+    }
+    if (open_txn) ++rep.txns_discarded;
+
+    journal_head_ = 0;
+    txn_dirty_ = false;
+    commit_pending_ = false;
+    snapshot_stable();  // recovered state is the new on-platter truth
+    return rep;
+  }
 
   // --- fsck ------------------------------------------------------------------
   /// Offline consistency check, like e2fsck in read-only mode: validates
@@ -533,18 +634,18 @@ class JournalFs final : public FileSystem {
 
   // --- disk mapping ---------------------------------------------------------
   // LBA layout: [0, journal_slots_) journal strip, then data blocks.
-  void io_touch_data(std::uint32_t blk, bool write) {
-    if (io_ == nullptr || blk == 0) return;
+  Result<void> io_touch_data(std::uint32_t blk, bool write) {
+    if (io_ == nullptr || blk == 0) return {};
     blockdev::Lba lba = journal_slots_ + (blk - 1);
-    if (write) {
-      io_->write(lba % io_->disk().size());
-    } else {
-      io_->read(lba % io_->disk().size());
-    }
+    if (write) return io_->write(lba % io_->disk().size());
+    return io_->read(lba % io_->disk().size());
   }
   void io_touch_journal(std::size_t slot) {
     if (io_ == nullptr) return;
-    io_->write(static_cast<blockdev::Lba>(slot) % io_->disk().size());
+    // Journal-strip write errors are absorbed: in this model the journal
+    // only prices the sequential append; a lost record shows up at
+    // recovery as a torn/short log, which replay already tolerates.
+    (void)io_->write(static_cast<blockdev::Lba>(slot) % io_->disk().size());
   }
 
   // --- inode helpers ---------------------------------------------------------
@@ -576,6 +677,7 @@ class JournalFs final : public FileSystem {
         bitmap_[probe] = 1;
         bitmap_cursor_ = probe + 1;
         ++jstats_.blocks_allocated;
+        journal_bitmap(static_cast<std::uint32_t>(probe + 1), 1);
         // Zero the block through the policy pointer.
         Ptr<std::uint8_t> p = data_ + probe * kBlockSize;
         for (std::size_t b = 0; b < kBlockSize; ++b) p[b] = 0;
@@ -589,6 +691,7 @@ class JournalFs final : public FileSystem {
     if (blk == 0) return;
     bitmap_[blk - 1] = 0;
     ++jstats_.blocks_freed;
+    journal_bitmap(blk, 0);
   }
 
   /// Block number backing logical block index `li` of `n` (0 = hole).
@@ -643,6 +746,10 @@ class JournalFs final : public FileSystem {
       if (!any_left) {
         free_block(n.indirect);
         n.indirect = 0;
+      } else if (crash_sim_) {
+        // The surviving indirect block was modified in place; journal its
+        // post-image or replay resurrects the freed pointers.
+        journal_block(n.indirect);
       }
     }
   }
@@ -747,44 +854,204 @@ class JournalFs final : public FileSystem {
     }
     d->mtime = ++clock_;
     journal_inode(dir);
+    // Crash-sim: the victim's new state (nlink drop or deallocation) must
+    // replay, or recovery resurrects it half-dead.
+    if (crash_sim_) journal_inode(de.ino);
     return Errno::kOk;
   }
 
   // --- journaling ------------------------------------------------------------------
+  /// One transaction per mutating public operation. Depth-counted so
+  /// nested mutations (rename -> remove_entry) stay one transaction; the
+  /// commit marker is appended when the outermost scope exits.
+  struct TxnScope {
+    JournalFs& fs;
+    explicit TxnScope(JournalFs& f) : fs(f) { ++fs.txn_depth_; }
+    ~TxnScope() {
+      if (--fs.txn_depth_ == 0 && fs.crash_sim_) fs.end_txn();
+    }
+  };
+
+  /// Keep this many free journal slots when deciding to checkpoint, so a
+  /// transaction never wraps the circular log over its own records.
+  static constexpr std::size_t kJournalMargin = 16;
+
+  JournalRecord& next_record(JRecKind kind, std::uint32_t target,
+                             std::uint32_t len) {
+    JournalRecord& rec = journal_[journal_head_ % journal_slots_];
+    rec.seq = ++journal_seq_;
+    rec.kind = static_cast<std::uint8_t>(kind);
+    rec.target = target;
+    rec.len = len;
+    return rec;
+  }
+
+  /// Finish an append: checksum it, let kfail's disk.torn site tear it
+  /// (silently -- the damage only shows at recovery), touch the journal
+  /// strip on the io model, and advance the head.
+  void seal_record(JournalRecord& rec) {
+    if (crash_sim_) {
+      rec.checksum = record_checksum(rec);
+      if (auto f = USK_FAIL_POINT(fault::Site::kDiskTorn);
+          f.fail || f.transient) {
+        // Torn write: the tail of the record never hit the platter.
+        for (std::size_t i = rec.len / 2; i < rec.len; ++i) rec.payload[i] = 0;
+        rec.checksum ^= 0x5bd1e9955bd1e995ull;
+        ++jstats_.torn_records;
+      }
+    }
+    io_touch_journal(journal_head_ % journal_slots_);
+    ++journal_head_;
+  }
+
   /// Append a copy of data block `blk` to the journal (byte loop through
   /// policy pointers: this is the KGCC hot path).
   void journal_block(std::uint32_t blk) {
-    JournalRecord& rec = journal_[journal_head_ % journal_slots_];
-    rec.seq = ++journal_seq_;
-    rec.block = blk;
+    JournalRecord& rec = next_record(JRecKind::kBlock, blk, kBlockSize);
     Ptr<std::uint8_t> src = data_ + (blk - 1) * kBlockSize;
     for (std::size_t i = 0; i < kBlockSize; ++i) rec.payload[i] = src[i];
-    io_touch_journal(journal_head_ % journal_slots_);
-    ++journal_head_;
+    seal_record(rec);
     ++jstats_.journal_records;
+    txn_dirty_ = true;
     charge(journal_cost_);
-    if (journal_seq_ % commit_interval_ == 0) commit_journal();
+    if (journal_seq_ % commit_interval_ == 0) {
+      // Crash-sim defers the checkpoint to the transaction boundary so the
+      // stable image never contains half a transaction.
+      if (crash_sim_) {
+        commit_pending_ = true;
+      } else {
+        (void)commit_journal();
+      }
+    }
   }
 
   /// Journal an inode update (the inode table region).
   void journal_inode(InodeNum ino) {
-    JournalRecord& rec = journal_[journal_head_ % journal_slots_];
-    rec.seq = ++journal_seq_;
-    rec.block = 0;  // 0 marks an inode record
+    JournalRecord& rec = next_record(JRecKind::kInode, static_cast<std::uint32_t>(ino),
+                                     static_cast<std::uint32_t>(sizeof(DiskInode)));
     const DiskInode& n = inodes_[ino - 1];
     const auto* src = reinterpret_cast<const std::uint8_t*>(&n);
     for (std::size_t i = 0; i < sizeof(DiskInode); ++i) rec.payload[i] = src[i];
-    io_touch_journal(journal_head_ % journal_slots_);
-    ++journal_head_;
+    seal_record(rec);
     ++jstats_.journal_records;
+    txn_dirty_ = true;
   }
 
-  void commit_journal() {
+  /// Journal a bitmap delta (crash-sim only: block allocation state must
+  /// replay or recovered inodes would point into "free" blocks).
+  void journal_bitmap(std::uint32_t blk, std::uint8_t used) {
+    if (!crash_sim_) return;
+    JournalRecord& rec = next_record(JRecKind::kBitmap, blk, 1);
+    rec.payload[0] = used;
+    seal_record(rec);
+    txn_dirty_ = true;
+  }
+
+  /// Outermost mutation scope exit (crash-sim): append the commit marker
+  /// and run any deferred checkpoint.
+  void end_txn() {
+    if (!txn_dirty_) return;
+    JournalRecord& rec = next_record(JRecKind::kCommit, 0, 0);
+    seal_record(rec);
+    ++jstats_.commit_markers;
+    txn_dirty_ = false;
+    if (commit_pending_ || journal_head_ + kJournalMargin >= journal_slots_) {
+      commit_pending_ = false;
+      (void)commit_journal();
+    }
+  }
+
+  Result<void> commit_journal() {
     // Checkpoint: flush dirty cached blocks to their home locations (the
-    // scattered writes the journal deferred), then reset the head.
-    if (io_ != nullptr) io_->flush();
+    // scattered writes the journal deferred), then reset the head. A
+    // writeback error leaves the cache dirty and is surfaced to sync();
+    // the journal is reclaimed regardless (retry re-dirties nothing).
+    Result<void> r{};
+    if (io_ != nullptr) r = io_->flush();
     ++jstats_.journal_commits;
     journal_head_ = 0;
+    txn_dirty_ = false;
+    if (crash_sim_) snapshot_stable();
+    return r;
+  }
+
+  // --- crash-sim internals ---------------------------------------------------
+  static std::uint64_t record_checksum(const JournalRecord& rec) {
+    std::uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](std::uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (b * 8)) & 0xff;
+        h *= 1099511628211ull;
+      }
+    };
+    mix(rec.seq);
+    mix(rec.target);
+    mix(rec.len);
+    mix(rec.kind);
+    for (std::size_t i = 0; i < rec.len && i < kBlockSize; ++i) {
+      h ^= rec.payload[i];
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  bool record_valid(const JournalRecord& rec) const {
+    if (rec.kind > static_cast<std::uint8_t>(JRecKind::kCommit)) return false;
+    if (rec.len > kBlockSize) return false;
+    switch (static_cast<JRecKind>(rec.kind)) {
+      case JRecKind::kBlock:
+      case JRecKind::kBitmap:
+        if (rec.target == 0 || rec.target > data_blocks_) return false;
+        break;
+      case JRecKind::kInode:
+        if (rec.target == 0 || rec.target > max_inodes_) return false;
+        break;
+      case JRecKind::kCommit:
+        break;
+    }
+    return rec.checksum == record_checksum(rec);
+  }
+
+  void apply_record(const JournalRecord& rec) {
+    switch (static_cast<JRecKind>(rec.kind)) {
+      case JRecKind::kBlock: {
+        Ptr<std::uint8_t> dst = data_ + (rec.target - 1) * kBlockSize;
+        for (std::size_t i = 0; i < kBlockSize; ++i) dst[i] = rec.payload[i];
+        break;
+      }
+      case JRecKind::kInode: {
+        DiskInode n;
+        std::memcpy(&n, rec.payload, sizeof(DiskInode));
+        inodes_[rec.target - 1] = n;
+        break;
+      }
+      case JRecKind::kBitmap:
+        bitmap_[rec.target - 1] = rec.payload[0];
+        break;
+      case JRecKind::kCommit:
+        break;
+    }
+  }
+
+  /// Copy the live arrays into the stable ("on-platter") image.
+  void snapshot_stable() {
+    stable_inodes_.resize(max_inodes_);
+    for (std::size_t i = 0; i < max_inodes_; ++i) stable_inodes_[i] = inodes_[i];
+    stable_bitmap_.resize(data_blocks_);
+    for (std::size_t i = 0; i < data_blocks_; ++i) stable_bitmap_[i] = bitmap_[i];
+    stable_data_.resize(data_blocks_ * kBlockSize);
+    for (std::size_t i = 0; i < data_blocks_ * kBlockSize; ++i) {
+      stable_data_[i] = data_[i];
+    }
+    stable_valid_ = true;
+  }
+
+  void restore_stable() {
+    for (std::size_t i = 0; i < max_inodes_; ++i) inodes_[i] = stable_inodes_[i];
+    for (std::size_t i = 0; i < data_blocks_; ++i) bitmap_[i] = stable_bitmap_[i];
+    for (std::size_t i = 0; i < data_blocks_ * kBlockSize; ++i) {
+      data_[i] = stable_data_[i];
+    }
   }
 
   std::size_t max_inodes_;
@@ -799,6 +1066,15 @@ class JournalFs final : public FileSystem {
   std::uint64_t clock_ = 0;
   std::uint64_t journal_seq_ = 0;
   std::size_t journal_head_ = 0;
+  // --- crash-sim state ---
+  bool crash_sim_ = false;
+  bool txn_dirty_ = false;      ///< records appended since last marker
+  bool commit_pending_ = false; ///< checkpoint deferred to txn boundary
+  int txn_depth_ = 0;
+  bool stable_valid_ = false;
+  std::vector<DiskInode> stable_inodes_;
+  std::vector<std::uint8_t> stable_bitmap_;
+  std::vector<std::uint8_t> stable_data_;
   JournalFsStats jstats_;
   FsCosts costs_;
   std::uint64_t journal_cost_ = 40;

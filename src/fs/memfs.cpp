@@ -62,7 +62,7 @@ Result<InodeNum> MemFs::create(InodeNum dir, std::string_view name,
   return ino;
 }
 
-Errno MemFs::unlink(InodeNum dir, std::string_view name) {
+Result<void> MemFs::unlink(InodeNum dir, std::string_view name) {
   charge(costs_.remove);
   ++stats_.removes;
   base::WriteGuard g(rw_);
@@ -80,7 +80,7 @@ Errno MemFs::unlink(InodeNum dir, std::string_view name) {
   return Errno::kOk;
 }
 
-Errno MemFs::link(InodeNum dir, std::string_view name, InodeNum target) {
+Result<void> MemFs::link(InodeNum dir, std::string_view name, InodeNum target) {
   charge(costs_.create);
   if (name.empty() || name.size() > kMaxName) return Errno::kENAMETOOLONG;
   base::WriteGuard g(rw_);
@@ -98,7 +98,7 @@ Errno MemFs::link(InodeNum dir, std::string_view name, InodeNum target) {
   return Errno::kOk;
 }
 
-Errno MemFs::chmod(InodeNum ino, std::uint32_t mode) {
+Result<void> MemFs::chmod(InodeNum ino, std::uint32_t mode) {
   charge(costs_.getattr);
   base::WriteGuard g(rw_);
   Inode* n = get(ino);
@@ -108,7 +108,7 @@ Errno MemFs::chmod(InodeNum ino, std::uint32_t mode) {
   return Errno::kOk;
 }
 
-Errno MemFs::rmdir(InodeNum dir, std::string_view name) {
+Result<void> MemFs::rmdir(InodeNum dir, std::string_view name) {
   charge(costs_.remove);
   ++stats_.removes;
   base::WriteGuard g(rw_);
@@ -129,7 +129,7 @@ Errno MemFs::rmdir(InodeNum dir, std::string_view name) {
   return Errno::kOk;
 }
 
-Errno MemFs::rename(InodeNum src_dir, std::string_view src_name,
+Result<void> MemFs::rename(InodeNum src_dir, std::string_view src_name,
                     InodeNum dst_dir, std::string_view dst_name) {
   charge(costs_.rename);
   base::WriteGuard g(rw_);
@@ -174,9 +174,9 @@ Errno MemFs::rename(InodeNum src_dir, std::string_view src_name,
   return Errno::kOk;
 }
 
-void MemFs::touch_blocks(InodeNum ino, std::uint64_t offset,
-                         std::size_t len, bool write) {
-  if (io_ == nullptr || len == 0) return;
+Result<void> MemFs::touch_blocks(InodeNum ino, std::uint64_t offset,
+                                 std::size_t len, bool write) {
+  if (io_ == nullptr || len == 0) return {};
   constexpr std::uint64_t kBlock = blockdev::kBlockBytes;
   constexpr blockdev::Lba kExtentBlocks = 1024;  // 4 MiB strip per inode
   auto it = extent_.find(ino);
@@ -190,11 +190,12 @@ void MemFs::touch_blocks(InodeNum ino, std::uint64_t offset,
     blockdev::Lba lba =
         (it->second + b % kExtentBlocks) % io_->disk().size();
     if (write) {
-      io_->write(lba);
+      USK_TRY(io_->write(lba));
     } else {
-      io_->read(lba);
+      USK_TRY(io_->read(lba));
     }
   }
+  return {};
 }
 
 Result<std::size_t> MemFs::read(InodeNum ino, std::uint64_t offset,
@@ -221,7 +222,7 @@ Result<std::size_t> MemFs::read_locked(InodeNum ino, std::uint64_t offset,
   }
   std::size_t len = std::min<std::size_t>(out.size(), n->data.size() - offset);
   charge(costs_.data_per_kib * (len + 1023) / 1024 + 8);
-  touch_blocks(ino, offset, len, /*write=*/false);
+  USK_TRY(touch_blocks(ino, offset, len, /*write=*/false));
   std::memcpy(out.data(), n->data.data() + offset, len);
   // atomic_ref: concurrent shared-lock readers may race on atime.
   std::atomic_ref<std::uint64_t>(n->atime).store(now(),
@@ -240,7 +241,7 @@ Result<std::size_t> MemFs::write(InodeNum ino, std::uint64_t offset,
   std::uint64_t end = offset + in.size();
   if (end > (1ull << 32)) return Errno::kEFBIG;
   charge(costs_.data_per_kib * (in.size() + 1023) / 1024 + 10);
-  touch_blocks(ino, offset, in.size(), /*write=*/true);
+  USK_TRY(touch_blocks(ino, offset, in.size(), /*write=*/true));
   if (end > n->data.size()) n->data.resize(end);
   std::memcpy(n->data.data() + offset, in.data(), in.size());
   n->mtime = now();
@@ -248,7 +249,7 @@ Result<std::size_t> MemFs::write(InodeNum ino, std::uint64_t offset,
   return in.size();
 }
 
-Errno MemFs::truncate(InodeNum ino, std::uint64_t size) {
+Result<void> MemFs::truncate(InodeNum ino, std::uint64_t size) {
   charge(costs_.truncate);
   base::WriteGuard g(rw_);
   Inode* n = get(ino);
@@ -259,7 +260,7 @@ Errno MemFs::truncate(InodeNum ino, std::uint64_t size) {
   return Errno::kOk;
 }
 
-Errno MemFs::getattr(InodeNum ino, StatBuf* st) {
+Result<void> MemFs::getattr(InodeNum ino, StatBuf* st) {
   charge(costs_.getattr);
   ++stats_.getattrs;
   base::ReadGuard g(rw_);

@@ -73,18 +73,18 @@ class MemFs final : public FileSystem {
   Result<InodeNum> lookup(InodeNum dir, std::string_view name) override;
   Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
                           std::uint32_t mode) override;
-  Errno unlink(InodeNum dir, std::string_view name) override;
-  Errno link(InodeNum dir, std::string_view name, InodeNum target) override;
-  Errno chmod(InodeNum ino, std::uint32_t mode) override;
-  Errno rmdir(InodeNum dir, std::string_view name) override;
-  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+  Result<void> unlink(InodeNum dir, std::string_view name) override;
+  Result<void> link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Result<void> chmod(InodeNum ino, std::uint32_t mode) override;
+  Result<void> rmdir(InodeNum dir, std::string_view name) override;
+  Result<void> rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
                std::string_view dst_name) override;
   Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
                            std::span<std::byte> out) override;
   Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
                             std::span<const std::byte> in) override;
-  Errno truncate(InodeNum ino, std::uint64_t size) override;
-  Errno getattr(InodeNum ino, StatBuf* st) override;
+  Result<void> truncate(InodeNum ino, std::uint64_t size) override;
+  Result<void> getattr(InodeNum ino, StatBuf* st) override;
   Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
   Result<std::vector<DirEntry>> readdir_window(
       InodeNum dir, std::size_t start, std::size_t max_entries) override;
@@ -134,8 +134,9 @@ class MemFs final : public FileSystem {
   const std::vector<DirEntry>& dir_snapshot(InodeNum ino, Inode& dir);
 
   /// Touch the disk blocks backing [offset, offset+len) of `ino`.
-  void touch_blocks(InodeNum ino, std::uint64_t offset, std::size_t len,
-                    bool write);
+  /// kEIO when the io model's disk access fails (kfail injection).
+  Result<void> touch_blocks(InodeNum ino, std::uint64_t offset,
+                            std::size_t len, bool write);
 
   // rw_ guards inodes_, dir_cache_, next_ino_, extent_, and the io model;
   // see the SMP note at the top of this header.

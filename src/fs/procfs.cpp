@@ -114,9 +114,9 @@ Result<InodeNum> ProcFs::create(InodeNum, std::string_view, FileType,
                                 std::uint32_t) {
   return Errno::kEROFS;
 }
-Errno ProcFs::unlink(InodeNum, std::string_view) { return Errno::kEROFS; }
-Errno ProcFs::rmdir(InodeNum, std::string_view) { return Errno::kEROFS; }
-Errno ProcFs::rename(InodeNum, std::string_view, InodeNum,
+Result<void> ProcFs::unlink(InodeNum, std::string_view) { return Errno::kEROFS; }
+Result<void> ProcFs::rmdir(InodeNum, std::string_view) { return Errno::kEROFS; }
+Result<void> ProcFs::rename(InodeNum, std::string_view, InodeNum,
                      std::string_view) {
   return Errno::kEROFS;
 }
@@ -125,7 +125,7 @@ void ProcFs::render_locked(InodeNum, Node& n) {
   if (n.render) n.snapshot = n.render();
 }
 
-Errno ProcFs::open_file(InodeNum ino) {
+Result<void> ProcFs::open_file(InodeNum ino) {
   std::lock_guard lk(mu_);
   Node* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
@@ -168,7 +168,7 @@ Result<std::size_t> ProcFs::write(InodeNum ino, std::uint64_t,
   return in.size();
 }
 
-Errno ProcFs::truncate(InodeNum ino, std::uint64_t) {
+Result<void> ProcFs::truncate(InodeNum ino, std::uint64_t) {
   std::lock_guard lk(mu_);
   Node* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;
@@ -176,7 +176,7 @@ Errno ProcFs::truncate(InodeNum ino, std::uint64_t) {
   return n->on_write ? Errno::kOk : Errno::kEROFS;
 }
 
-Errno ProcFs::getattr(InodeNum ino, StatBuf* st) {
+Result<void> ProcFs::getattr(InodeNum ino, StatBuf* st) {
   std::lock_guard lk(mu_);
   Node* n = get(ino);
   if (n == nullptr) return Errno::kENOENT;

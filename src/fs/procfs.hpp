@@ -51,18 +51,18 @@ class ProcFs final : public FileSystem {
   Result<InodeNum> lookup(InodeNum dir, std::string_view name) override;
   Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
                           std::uint32_t mode) override;
-  Errno unlink(InodeNum dir, std::string_view name) override;
-  Errno rmdir(InodeNum dir, std::string_view name) override;
-  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+  Result<void> unlink(InodeNum dir, std::string_view name) override;
+  Result<void> rmdir(InodeNum dir, std::string_view name) override;
+  Result<void> rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
                std::string_view dst_name) override;
   Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
                            std::span<std::byte> out) override;
   Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
                             std::span<const std::byte> in) override;
-  Errno truncate(InodeNum ino, std::uint64_t size) override;
-  Errno getattr(InodeNum ino, StatBuf* st) override;
+  Result<void> truncate(InodeNum ino, std::uint64_t size) override;
+  Result<void> getattr(InodeNum ino, StatBuf* st) override;
   Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
-  Errno open_file(InodeNum ino) override;
+  Result<void> open_file(InodeNum ino) override;
 
  private:
   static constexpr InodeNum kRootIno = 1;

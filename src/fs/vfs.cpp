@@ -25,7 +25,7 @@ OpenFile* FdTable::get(int fd) {
   return files_[fd].has_value() ? &*files_[fd] : nullptr;
 }
 
-Errno FdTable::release(int fd) {
+Result<void> FdTable::release(int fd) {
   if (fd < 0 || static_cast<std::size_t>(fd) >= files_.size() ||
       !files_[fd].has_value()) {
     return Errno::kEBADF;
@@ -116,7 +116,7 @@ Result<std::pair<Vfs::Loc, std::string>> Vfs::resolve_parent(
 
 // --- mounts --------------------------------------------------------------------------
 
-Errno Vfs::mount(std::string_view dir_path, FileSystem& fs) {
+Result<void> Vfs::mount(std::string_view dir_path, FileSystem& fs) {
   Result<Loc> at = resolve_loc(dir_path);
   if (!at) return at.error();
   StatBuf st;
@@ -133,7 +133,7 @@ Errno Vfs::mount(std::string_view dir_path, FileSystem& fs) {
   return Errno::kOk;
 }
 
-Errno Vfs::unmount(std::string_view dir_path) {
+Result<void> Vfs::unmount(std::string_view dir_path) {
   // Resolve the parent and step WITHOUT the final mount redirect: find the
   // covered directory by matching the mounted root instead.
   Result<Loc> at = resolve_loc(dir_path);
@@ -196,7 +196,7 @@ Result<int> Vfs::open(FdTable& fds, std::string_view path, int flags,
   return fds.install(f);
 }
 
-Errno Vfs::close(FdTable& fds, int fd) {
+Result<void> Vfs::close(FdTable& fds, int fd) {
   ++vstats_.closes;
   OpenFile* f = fds.get(fd);
   if (f == nullptr) return Errno::kEBADF;
@@ -276,14 +276,14 @@ Result<std::uint64_t> Vfs::lseek(FdTable& fds, int fd, std::int64_t off,
   return f->pos;
 }
 
-Errno Vfs::fstat(FdTable& fds, int fd, StatBuf* st) {
+Result<void> Vfs::fstat(FdTable& fds, int fd, StatBuf* st) {
   ++vstats_.stats_;
   OpenFile* f = fds.get(fd);
   if (f == nullptr) return Errno::kEBADF;
   return file_fs(fs_, *f).getattr(f->ino, st);
 }
 
-Errno Vfs::stat(std::string_view path, StatBuf* st) {
+Result<void> Vfs::stat(std::string_view path, StatBuf* st) {
   USK_TRACE_LATENCY("vfs", "stat");
   USK_TRACEPOINT("vfs", "stat", path.size());
   ++vstats_.stats_;
@@ -311,13 +311,13 @@ Result<std::vector<DirEntry>> Vfs::readdir_window_at(
   return dir.fs->readdir_window(dir.ino, start, max_entries);
 }
 
-Errno Vfs::getattr_at(const Loc& loc, StatBuf* st) {
+Result<void> Vfs::getattr_at(const Loc& loc, StatBuf* st) {
   return loc.fs->getattr(loc.ino, st);
 }
 
 // --- namespace operations ----------------------------------------------------------------
 
-Errno Vfs::mkdir(std::string_view path, std::uint32_t mode) {
+Result<void> Vfs::mkdir(std::string_view path, std::uint32_t mode) {
   auto parent = resolve_parent(path);
   if (!parent) return parent.error();
   const Loc& dir = parent.value().first;
@@ -328,7 +328,7 @@ Errno Vfs::mkdir(std::string_view path, std::uint32_t mode) {
   return Errno::kOk;
 }
 
-Errno Vfs::rmdir(std::string_view path) {
+Result<void> Vfs::rmdir(std::string_view path) {
   auto parent = resolve_parent(path);
   if (!parent) return parent.error();
   const Loc& dir = parent.value().first;
@@ -349,7 +349,7 @@ Errno Vfs::rmdir(std::string_view path) {
   return e;
 }
 
-Errno Vfs::unlink(std::string_view path) {
+Result<void> Vfs::unlink(std::string_view path) {
   auto parent = resolve_parent(path);
   if (!parent) return parent.error();
   const Loc& dir = parent.value().first;
@@ -360,7 +360,7 @@ Errno Vfs::unlink(std::string_view path) {
   return e;
 }
 
-Errno Vfs::link(std::string_view from, std::string_view to) {
+Result<void> Vfs::link(std::string_view from, std::string_view to) {
   Result<Loc> target = resolve_loc(from);
   if (!target) return target.error();
   auto parent = resolve_parent(to);
@@ -375,13 +375,13 @@ Errno Vfs::link(std::string_view from, std::string_view to) {
   return e;
 }
 
-Errno Vfs::chmod(std::string_view path, std::uint32_t mode) {
+Result<void> Vfs::chmod(std::string_view path, std::uint32_t mode) {
   Result<Loc> loc = resolve_loc(path);
   if (!loc) return loc.error();
   return loc.value().fs->chmod(loc.value().ino, mode);
 }
 
-Errno Vfs::rename(std::string_view from, std::string_view to) {
+Result<void> Vfs::rename(std::string_view from, std::string_view to) {
   auto src = resolve_parent(from);
   if (!src) return src.error();
   auto dst = resolve_parent(to);
@@ -399,7 +399,7 @@ Errno Vfs::rename(std::string_view from, std::string_view to) {
   return e;
 }
 
-Errno Vfs::truncate(std::string_view path, std::uint64_t size) {
+Result<void> Vfs::truncate(std::string_view path, std::uint64_t size) {
   Result<Loc> loc = resolve_loc(path);
   if (!loc) return loc.error();
   return loc.value().fs->truncate(loc.value().ino, size);

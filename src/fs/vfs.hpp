@@ -36,7 +36,7 @@ class FdTable {
 
   Result<int> install(const OpenFile& f);
   OpenFile* get(int fd);
-  Errno release(int fd);
+  Result<void> release(int fd);
   [[nodiscard]] std::size_t open_count() const;
 
  private:
@@ -74,8 +74,8 @@ class Vfs {
 
   // --- mounts ------------------------------------------------------------------
   /// Graft `fs` onto the existing directory at `dir_path`.
-  Errno mount(std::string_view dir_path, FileSystem& fs);
-  Errno unmount(std::string_view dir_path);
+  Result<void> mount(std::string_view dir_path, FileSystem& fs);
+  Result<void> unmount(std::string_view dir_path);
   [[nodiscard]] std::size_t mount_count() const { return mounts_.size(); }
 
   // --- path resolution -----------------------------------------------------
@@ -89,7 +89,7 @@ class Vfs {
   // --- file operations (kernel buffers) -------------------------------------
   Result<int> open(FdTable& fds, std::string_view path, int flags,
                    std::uint32_t mode);
-  Errno close(FdTable& fds, int fd);
+  Result<void> close(FdTable& fds, int fd);
   /// Duplicate `fd` into the lowest free slot (dup(2)-style; the copy has
   /// its own file position). The owning filesystem sees dup_file so
   /// fd-refcounted objects (sockets) survive sharing.
@@ -99,8 +99,8 @@ class Vfs {
                             std::span<const std::byte> in);
   Result<std::uint64_t> lseek(FdTable& fds, int fd, std::int64_t off,
                               int whence);
-  Errno fstat(FdTable& fds, int fd, StatBuf* st);
-  Errno stat(std::string_view path, StatBuf* st);
+  Result<void> fstat(FdTable& fds, int fd, StatBuf* st);
+  Result<void> stat(std::string_view path, StatBuf* st);
   Result<std::vector<DirEntry>> readdir_fd(FdTable& fds, int fd);
   /// Windowed listing for getdents-style resumable reads.
   Result<std::vector<DirEntry>> readdir_window(FdTable& fds, int fd,
@@ -110,18 +110,18 @@ class Vfs {
   Result<std::vector<DirEntry>> readdir_window_at(const Loc& dir,
                                                   std::size_t start,
                                                   std::size_t max_entries);
-  Errno getattr_at(const Loc& loc, StatBuf* st);
+  Result<void> getattr_at(const Loc& loc, StatBuf* st);
 
   // --- namespace operations ---------------------------------------------------
-  Errno mkdir(std::string_view path, std::uint32_t mode);
-  Errno rmdir(std::string_view path);
-  Errno unlink(std::string_view path);
+  Result<void> mkdir(std::string_view path, std::uint32_t mode);
+  Result<void> rmdir(std::string_view path);
+  Result<void> unlink(std::string_view path);
   /// Hard link `to` -> the file at `from` (same filesystem only: EXDEV).
-  Errno link(std::string_view from, std::string_view to);
-  Errno chmod(std::string_view path, std::uint32_t mode);
+  Result<void> link(std::string_view from, std::string_view to);
+  Result<void> chmod(std::string_view path, std::uint32_t mode);
   /// Rename within one filesystem (cross-mount renames return EXDEV).
-  Errno rename(std::string_view from, std::string_view to);
-  Errno truncate(std::string_view path, std::uint64_t size);
+  Result<void> rename(std::string_view from, std::string_view to);
+  Result<void> truncate(std::string_view path, std::uint64_t size);
 
   [[nodiscard]] FileSystem& filesystem() { return fs_; }
   [[nodiscard]] Dcache& dcache() { return dcache_; }

@@ -69,7 +69,7 @@ Result<InodeNum> WrapFs::create(InodeNum dir, std::string_view name,
   return r;
 }
 
-Errno WrapFs::unlink(InodeNum dir, std::string_view name) {
+Result<void> WrapFs::unlink(InodeNum dir, std::string_view name) {
   ++wstats_.ops;
   std::string n = name_through_buffer(name);
   Result<InodeNum> victim = lower_.lookup(dir, n);
@@ -78,7 +78,7 @@ Errno WrapFs::unlink(InodeNum dir, std::string_view name) {
   return e;
 }
 
-Errno WrapFs::link(InodeNum dir, std::string_view name, InodeNum target) {
+Result<void> WrapFs::link(InodeNum dir, std::string_view name, InodeNum target) {
   ++wstats_.ops;
   std::string n = name_through_buffer(name);
   Errno e = lower_.link(dir, n, target);
@@ -86,13 +86,13 @@ Errno WrapFs::link(InodeNum dir, std::string_view name, InodeNum target) {
   return e;
 }
 
-Errno WrapFs::chmod(InodeNum ino, std::uint32_t mode) {
+Result<void> WrapFs::chmod(InodeNum ino, std::uint32_t mode) {
   ++wstats_.ops;
   touch_private(ino, 0, 0);
   return lower_.chmod(ino, mode);
 }
 
-Errno WrapFs::rmdir(InodeNum dir, std::string_view name) {
+Result<void> WrapFs::rmdir(InodeNum dir, std::string_view name) {
   ++wstats_.ops;
   std::string n = name_through_buffer(name);
   Result<InodeNum> victim = lower_.lookup(dir, n);
@@ -101,7 +101,7 @@ Errno WrapFs::rmdir(InodeNum dir, std::string_view name) {
   return e;
 }
 
-Errno WrapFs::rename(InodeNum src_dir, std::string_view src_name,
+Result<void> WrapFs::rename(InodeNum src_dir, std::string_view src_name,
                      InodeNum dst_dir, std::string_view dst_name) {
   ++wstats_.ops;
   std::string sn = name_through_buffer(src_name);
@@ -168,13 +168,13 @@ Result<std::size_t> WrapFs::write(InodeNum ino, std::uint64_t offset,
   return done;
 }
 
-Errno WrapFs::truncate(InodeNum ino, std::uint64_t size) {
+Result<void> WrapFs::truncate(InodeNum ino, std::uint64_t size) {
   ++wstats_.ops;
   touch_private(ino, 0, 0);
   return lower_.truncate(ino, size);
 }
 
-Errno WrapFs::getattr(InodeNum ino, StatBuf* st) {
+Result<void> WrapFs::getattr(InodeNum ino, StatBuf* st) {
   ++wstats_.ops;
   touch_private(ino, 0, 0);
   return lower_.getattr(ino, st);

@@ -43,20 +43,20 @@ class WrapFs final : public FileSystem {
   Result<InodeNum> lookup(InodeNum dir, std::string_view name) override;
   Result<InodeNum> create(InodeNum dir, std::string_view name, FileType type,
                           std::uint32_t mode) override;
-  Errno unlink(InodeNum dir, std::string_view name) override;
-  Errno link(InodeNum dir, std::string_view name, InodeNum target) override;
-  Errno chmod(InodeNum ino, std::uint32_t mode) override;
-  Errno rmdir(InodeNum dir, std::string_view name) override;
-  Errno rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
+  Result<void> unlink(InodeNum dir, std::string_view name) override;
+  Result<void> link(InodeNum dir, std::string_view name, InodeNum target) override;
+  Result<void> chmod(InodeNum ino, std::uint32_t mode) override;
+  Result<void> rmdir(InodeNum dir, std::string_view name) override;
+  Result<void> rename(InodeNum src_dir, std::string_view src_name, InodeNum dst_dir,
                std::string_view dst_name) override;
   Result<std::size_t> read(InodeNum ino, std::uint64_t offset,
                            std::span<std::byte> out) override;
   Result<std::size_t> write(InodeNum ino, std::uint64_t offset,
                             std::span<const std::byte> in) override;
-  Errno truncate(InodeNum ino, std::uint64_t size) override;
-  Errno getattr(InodeNum ino, StatBuf* st) override;
+  Result<void> truncate(InodeNum ino, std::uint64_t size) override;
+  Result<void> getattr(InodeNum ino, StatBuf* st) override;
   Result<std::vector<DirEntry>> readdir(InodeNum dir) override;
-  Errno sync() override { return lower_.sync(); }
+  Result<void> sync() override { return lower_.sync(); }
 
   [[nodiscard]] const WrapFsStats& stats() const { return wstats_; }
   [[nodiscard]] mm::Allocator& allocator() { return alloc_; }

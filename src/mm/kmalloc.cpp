@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "fault/kfail.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::mm {
@@ -41,6 +42,18 @@ BufferHandle Kmalloc::alloc(std::size_t n, const char* /*file*/,
                             int /*line*/) {
   USK_TRACE_LATENCY("mm", "kmalloc");
   USK_TRACEPOINT("mm", "kmalloc_alloc", n);
+  if (auto f = USK_FAIL_POINT(fault::Site::kKmalloc); f.fail) {
+    // Injected allocation failure: surfaces to callers exactly like pool
+    // exhaustion (empty handle -> ENOMEM). Transient injections model a
+    // first-attempt miss rescued by direct reclaim and fall through.
+    if (per_cpu_) {
+      cpu_->local().stats.failed_allocs.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      USK_SPIN_GUARD(depot_lock_);
+      ++stats_.failed_allocs;
+    }
+    return {};
+  }
   if (n == 0) n = 1;
   return per_cpu_ ? alloc_percpu(n) : alloc_legacy(n);
 }

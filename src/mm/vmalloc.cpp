@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "fault/kfail.hpp"
+
 namespace usk::mm {
 
 Vmalloc::Vmalloc(vm::AddressSpace& as, vm::VAddr region_base,
@@ -24,6 +26,10 @@ Vmalloc::~Vmalloc() {
 vm::VAddr Vmalloc::alloc(std::size_t n, const VmallocOptions& opt, const char* file,
                          int line) {
   ++stats_.alloc_calls;
+  if (auto f = USK_FAIL_POINT(fault::Site::kVmalloc); f.fail) {
+    ++stats_.failed;
+    return 0;
+  }
   if (n == 0) n = 1;
 
   std::size_t data_pages = vm::pages_for(n);

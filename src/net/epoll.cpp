@@ -182,8 +182,13 @@ SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
 
   std::size_t n = std::min(out.size(), static_cast<std::size_t>(maxevents));
   if (n > 0) {
-    k_.boundary().copy_to_user(p.task, uevents, out.data(),
-                               n * sizeof(EpollEvent));
+    // Readiness is level-triggered here, so a faulted copy-out loses no
+    // events: the next wait re-reports them.
+    if (Result<std::size_t> c = k_.boundary().copy_to_user(
+            p.task, uevents, out.data(), n * sizeof(EpollEvent));
+        !c) {
+      return scope.fail(c.error());
+    }
   }
   return scope.done(static_cast<SysRet>(n));
 }

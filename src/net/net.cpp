@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "fault/kfail.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::net {
@@ -250,6 +251,7 @@ SysRet Net::sys_connect(uk::Process& p, int fd, std::uint16_t port) {
 // --- accept ----------------------------------------------------------------
 
 Result<int> Net::accept_pop(uk::Process& p, Socket& ls) {
+  if (auto f = USK_FAIL_POINT(fault::Site::kNetAccept); f.fail) return f.err;
   std::shared_ptr<Socket> conn;
   {
     std::unique_lock llk(ls.mu_);
@@ -295,6 +297,10 @@ SysRet Net::sys_accept(uk::Process& p, int fd) {
 
 Result<std::size_t> Net::send_from(Socket& s,
                                    std::span<const std::byte> in) {
+  if (auto f = USK_FAIL_POINT(fault::Site::kNetSend); f.fail || f.transient) {
+    if (f.fail) return f.err;
+    charge(costs_.per_packet);  // transient: one retransmit's worth of work
+  }
   std::shared_ptr<Socket> peer;
   bool nonblock = false;
   {
@@ -354,6 +360,10 @@ Result<std::size_t> Net::send_from(Socket& s,
 
 Result<std::size_t> Net::recv_into(Socket& s, std::span<std::byte> out) {
   if (out.empty()) return std::size_t{0};
+  if (auto f = USK_FAIL_POINT(fault::Site::kNetRecv); f.fail || f.transient) {
+    if (f.fail) return f.err;
+    charge(costs_.per_packet);  // transient: a dropped+retransmitted packet
+  }
   std::unique_lock slk(s.mu_);
   for (;;) {
     if (s.rd_shutdown_) return std::size_t{0};
@@ -390,7 +400,11 @@ SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
   if (!rs) return scope.fail(rs.error());
   n = std::min(n, uk::Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
-  k_.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
+  if (Result<std::size_t> c =
+          k_.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
+      !c) {
+    return scope.fail(c.error());
+  }
   Result<std::size_t> r = send_from(*rs.value(), std::span(kbuf.data(), n));
   if (!r) return scope.fail(r.error());
   return scope.done(static_cast<SysRet>(r.value()));
@@ -408,7 +422,13 @@ SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
   Result<std::size_t> r = recv_into(*rs.value(), std::span(kbuf.data(), n));
   if (!r) return scope.fail(r.error());
   if (r.value() > 0) {
-    k_.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+    // The bytes were already drained from the socket; a faulted copy-out
+    // loses them, exactly like a real recv whose user page vanished.
+    if (Result<std::size_t> c =
+            k_.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+        !c) {
+      return scope.fail(c.error());
+    }
   }
   return scope.done(static_cast<SysRet>(r.value()));
 }

@@ -101,17 +101,17 @@ class SocketFs final : public fs::FileSystem {
                               std::uint32_t) override {
     return Errno::kEPERM;
   }
-  Errno unlink(fs::InodeNum, std::string_view) override {
+  Result<void> unlink(fs::InodeNum, std::string_view) override {
     return Errno::kEPERM;
   }
-  Errno rmdir(fs::InodeNum, std::string_view) override {
+  Result<void> rmdir(fs::InodeNum, std::string_view) override {
     return Errno::kEPERM;
   }
-  Errno rename(fs::InodeNum, std::string_view, fs::InodeNum,
+  Result<void> rename(fs::InodeNum, std::string_view, fs::InodeNum,
                std::string_view) override {
     return Errno::kEPERM;
   }
-  Errno truncate(fs::InodeNum, std::uint64_t) override {
+  Result<void> truncate(fs::InodeNum, std::uint64_t) override {
     return Errno::kEINVAL;
   }
   Result<std::vector<fs::DirEntry>> readdir(fs::InodeNum) override {
@@ -122,7 +122,7 @@ class SocketFs final : public fs::FileSystem {
                            std::span<std::byte> out) override;
   Result<std::size_t> write(fs::InodeNum ino, std::uint64_t offset,
                             std::span<const std::byte> in) override;
-  Errno getattr(fs::InodeNum ino, fs::StatBuf* st) override;
+  Result<void> getattr(fs::InodeNum ino, fs::StatBuf* st) override;
   void release_file(fs::InodeNum ino) override;
   void dup_file(fs::InodeNum ino) override;
 

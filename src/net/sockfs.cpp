@@ -26,7 +26,7 @@ Result<std::size_t> SocketFs::write(fs::InodeNum ino, std::uint64_t offset,
   return net_.send_from(*s, in);
 }
 
-Errno SocketFs::getattr(fs::InodeNum ino, fs::StatBuf* st) {
+Result<void> SocketFs::getattr(fs::InodeNum ino, fs::StatBuf* st) {
   std::shared_ptr<Socket> s = net_.find_socket(ino);
   if (s == nullptr) return Errno::kEINVAL;
   std::lock_guard lk(s->mu_);

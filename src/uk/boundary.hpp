@@ -15,8 +15,10 @@
 #include <cstdint>
 #include <cstring>
 
+#include "base/errno.hpp"
 #include "base/percpu.hpp"
 #include "base/work.hpp"
+#include "fault/kfail.hpp"
 #include "sched/task.hpp"
 #include "trace/tracepoint.hpp"
 
@@ -37,6 +39,7 @@ struct BoundaryStats {
   std::uint64_t copies_to_user = 0;
   std::uint64_t bytes_from_user = 0;
   std::uint64_t bytes_to_user = 0;
+  std::uint64_t copy_faults = 0;  ///< kfail-injected EFAULTs
 };
 
 class Boundary {
@@ -63,38 +66,57 @@ class Boundary {
     task.exit_kernel();
   }
 
-  std::size_t copy_from_user(sched::Task& task, void* kdst, const void* usrc,
-                             std::size_t n) {
+  /// Copy user memory into the kernel. Fallible, like the real thing: the
+  /// user page can be gone by the time the kernel touches it. kfail's
+  /// copy_in site injects that EFAULT (the access_ok/page-fault path);
+  /// otherwise returns the bytes copied. Charging happens before the
+  /// fault check: a faulting copy paid for its setup and the partial walk.
+  [[nodiscard]] Result<std::size_t> copy_from_user(sched::Task& task,
+                                                   void* kdst,
+                                                   const void* usrc,
+                                                   std::size_t n) {
     USK_TRACEPOINT("boundary", "copy_from_user", n);
     BoundaryStats& s = stats_.local();
     ++s.copies_from_user;
+    charge_copy(task, n);
+    if (auto f = USK_FAIL_POINT(fault::Site::kCopyIn); f.fail) {
+      ++s.copy_faults;
+      return f.err;
+    }
     s.bytes_from_user += n;
     task.bytes_from_user += n;
-    charge_copy(task, n);
     std::memcpy(kdst, usrc, n);
     return n;
   }
 
-  std::size_t copy_to_user(sched::Task& task, void* udst, const void* ksrc,
-                           std::size_t n) {
+  [[nodiscard]] Result<std::size_t> copy_to_user(sched::Task& task,
+                                                 void* udst, const void* ksrc,
+                                                 std::size_t n) {
     USK_TRACEPOINT("boundary", "copy_to_user", n);
     BoundaryStats& s = stats_.local();
     ++s.copies_to_user;
+    charge_copy(task, n);
+    if (auto f = USK_FAIL_POINT(fault::Site::kCopyOut); f.fail) {
+      ++s.copy_faults;
+      return f.err;
+    }
     s.bytes_to_user += n;
     task.bytes_to_user += n;
-    charge_copy(task, n);
     std::memcpy(udst, ksrc, n);
     return n;
   }
 
   /// Copy a NUL-terminated user string (strncpy_from_user). Returns the
-  /// string length, or -1 if it exceeds `max`.
-  std::int64_t strncpy_from_user(sched::Task& task, char* kdst,
-                                 const char* usrc, std::size_t max) {
+  /// string length, kENAMETOOLONG if it exceeds `max`, or the copy's
+  /// injected fault.
+  [[nodiscard]] Result<std::size_t> strncpy_from_user(sched::Task& task,
+                                                      char* kdst,
+                                                      const char* usrc,
+                                                      std::size_t max) {
     std::size_t len = strnlen(usrc, max);
-    if (len == max) return -1;
-    copy_from_user(task, kdst, usrc, len + 1);
-    return static_cast<std::int64_t>(len);
+    if (len == max) return Errno::kENAMETOOLONG;
+    USK_TRY(copy_from_user(task, kdst, usrc, len + 1));
+    return len;
   }
 
   /// Merged snapshot of every CPU's counters. Quiescent-point read: each
@@ -108,6 +130,7 @@ class Boundary {
       sum.copies_to_user += s.copies_to_user;
       sum.bytes_from_user += s.bytes_from_user;
       sum.bytes_to_user += s.bytes_to_user;
+      sum.copy_faults += s.copy_faults;
     });
     return sum;
   }

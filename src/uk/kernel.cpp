@@ -77,112 +77,261 @@ Kernel::Scope::~Scope() {
 
 // --- helpers ----------------------------------------------------------------
 
+namespace {
+template <typename T>
+T* uptr(std::uint64_t v) {
+  return reinterpret_cast<T*>(static_cast<std::uintptr_t>(v));
+}
+}  // namespace
+
 std::int64_t Kernel::get_user_path(Process& p, const char* upath,
                                    char* kpath) {
   if (upath == nullptr) return sysret_err(Errno::kEFAULT);
-  std::int64_t len = boundary_.strncpy_from_user(p.task, kpath, upath,
-                                                 kMaxPath);
-  if (len < 0) return sysret_err(Errno::kENAMETOOLONG);
-  return len;
+  Result<std::size_t> len =
+      boundary_.strncpy_from_user(p.task, kpath, upath, kMaxPath);
+  if (!len) return sysret_err(len.error());
+  return static_cast<std::int64_t>(len.value());
 }
 
-// --- classic syscalls ---------------------------------------------------------
+// --- the gateway --------------------------------------------------------------
+
+const Kernel::HandlerTable& Kernel::handlers() {
+  static const HandlerTable table = [] {
+    HandlerTable t{};
+    auto set = [&t](Sys nr, SysHandler h) {
+      t[static_cast<std::size_t>(nr)] = h;
+    };
+    set(Sys::kOpen, &Kernel::do_open);
+    set(Sys::kClose, &Kernel::do_close);
+    set(Sys::kDup, &Kernel::do_dup);
+    set(Sys::kRead, &Kernel::do_read);
+    set(Sys::kWrite, &Kernel::do_write);
+    set(Sys::kLseek, &Kernel::do_lseek);
+    set(Sys::kStat, &Kernel::do_stat);
+    set(Sys::kFstat, &Kernel::do_fstat);
+    set(Sys::kReaddir, &Kernel::do_readdir);
+    set(Sys::kUnlink, &Kernel::do_unlink);
+    set(Sys::kMkdir, &Kernel::do_mkdir);
+    set(Sys::kRmdir, &Kernel::do_rmdir);
+    set(Sys::kRename, &Kernel::do_rename);
+    set(Sys::kTruncate, &Kernel::do_truncate);
+    set(Sys::kGetpid, &Kernel::do_getpid);
+    set(Sys::kSync, &Kernel::do_sync);
+    set(Sys::kLink, &Kernel::do_link);
+    set(Sys::kChmod, &Kernel::do_chmod);
+    return t;
+  }();
+  return table;
+}
+
+SysRet Kernel::syscall(Process& p, Sys nr, const SysArgs& a) {
+  const std::size_t idx = static_cast<std::size_t>(nr);
+  const SysHandler h = idx < handlers().size() ? handlers()[idx] : nullptr;
+  // The Scope is constructed HERE and only here for table-dispatched
+  // calls: one crossing, one audit record, one ktrace sample per entry.
+  Scope scope(*this, p, nr);
+  if (h == nullptr) return scope.fail(Errno::kENOSYS);
+  return (this->*h)(scope, a);
+}
+
+// --- typed wrappers (the userlib-facing ABI) ----------------------------------
 
 SysRet Kernel::sys_open(Process& p, const char* upath, int flags,
                         std::uint32_t mode) {
-  Scope scope(*this, p, Sys::kOpen);
-  char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
-  if (len < 0) return scope.done(len);
-  Result<int> r = vfs_.open(p.fds, std::string_view(kpath,
-                                                    static_cast<std::size_t>(len)),
-                            flags, mode);
-  if (!r) return scope.fail(r.error());
-  return scope.done(r.value());
+  return syscall(p, Sys::kOpen,
+                 {uarg(upath), static_cast<std::uint64_t>(flags), mode, 0});
 }
-
 SysRet Kernel::sys_close(Process& p, int fd) {
-  Scope scope(*this, p, Sys::kClose);
-  Errno e = vfs_.close(p.fds, fd);
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  return syscall(p, Sys::kClose, {static_cast<std::uint64_t>(fd)});
+}
+SysRet Kernel::sys_dup(Process& p, int fd) {
+  return syscall(p, Sys::kDup, {static_cast<std::uint64_t>(fd)});
+}
+SysRet Kernel::sys_read(Process& p, int fd, void* ubuf, std::size_t n) {
+  return syscall(p, Sys::kRead,
+                 {static_cast<std::uint64_t>(fd), uarg(ubuf), n, 0});
+}
+SysRet Kernel::sys_write(Process& p, int fd, const void* ubuf,
+                         std::size_t n) {
+  return syscall(p, Sys::kWrite,
+                 {static_cast<std::uint64_t>(fd), uarg(ubuf), n, 0});
+}
+SysRet Kernel::sys_lseek(Process& p, int fd, std::int64_t off, int whence) {
+  return syscall(p, Sys::kLseek,
+                 {static_cast<std::uint64_t>(fd),
+                  static_cast<std::uint64_t>(off),
+                  static_cast<std::uint64_t>(whence), 0});
+}
+SysRet Kernel::sys_stat(Process& p, const char* upath, fs::StatBuf* ust) {
+  return syscall(p, Sys::kStat, {uarg(upath), uarg(ust), 0, 0});
+}
+SysRet Kernel::sys_fstat(Process& p, int fd, fs::StatBuf* ust) {
+  return syscall(p, Sys::kFstat,
+                 {static_cast<std::uint64_t>(fd), uarg(ust), 0, 0});
+}
+SysRet Kernel::sys_readdir(Process& p, int fd, void* ubuf, std::size_t n) {
+  return syscall(p, Sys::kReaddir,
+                 {static_cast<std::uint64_t>(fd), uarg(ubuf), n, 0});
+}
+SysRet Kernel::sys_unlink(Process& p, const char* upath) {
+  return syscall(p, Sys::kUnlink, {uarg(upath)});
+}
+SysRet Kernel::sys_mkdir(Process& p, const char* upath, std::uint32_t mode) {
+  return syscall(p, Sys::kMkdir, {uarg(upath), mode, 0, 0});
+}
+SysRet Kernel::sys_rmdir(Process& p, const char* upath) {
+  return syscall(p, Sys::kRmdir, {uarg(upath)});
+}
+SysRet Kernel::sys_rename(Process& p, const char* ufrom, const char* uto) {
+  return syscall(p, Sys::kRename, {uarg(ufrom), uarg(uto), 0, 0});
+}
+SysRet Kernel::sys_truncate(Process& p, const char* upath,
+                            std::uint64_t size) {
+  return syscall(p, Sys::kTruncate, {uarg(upath), size, 0, 0});
+}
+SysRet Kernel::sys_getpid(Process& p) { return syscall(p, Sys::kGetpid); }
+SysRet Kernel::sys_sync(Process& p) { return syscall(p, Sys::kSync); }
+SysRet Kernel::sys_link(Process& p, const char* ufrom, const char* uto) {
+  return syscall(p, Sys::kLink, {uarg(ufrom), uarg(uto), 0, 0});
+}
+SysRet Kernel::sys_chmod(Process& p, const char* upath, std::uint32_t mode) {
+  return syscall(p, Sys::kChmod, {uarg(upath), mode, 0, 0});
 }
 
-SysRet Kernel::sys_dup(Process& p, int fd) {
-  Scope scope(*this, p, Sys::kDup);
-  Result<int> r = vfs_.dup(p.fds, fd);
+// --- handlers -----------------------------------------------------------------
+// Error-path discipline (audited, regression-tested in test_uk.cpp):
+// descriptor validity (EBADF) is decided BEFORE any user-memory copy or
+// kernel buffer allocation, and user copies are fallible -- a faulted
+// copy-out rewinds file position so no data is silently consumed.
+
+SysRet Kernel::do_open(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  char kpath[kMaxPath];
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
+  if (len < 0) return scope.done(len);
+  Result<int> r = vfs_.open(
+      p.fds, std::string_view(kpath, static_cast<std::size_t>(len)),
+      static_cast<int>(a.a1), static_cast<std::uint32_t>(a.a2));
   if (!r) return scope.fail(r.error());
   return scope.done(r.value());
 }
 
-SysRet Kernel::sys_read(Process& p, int fd, void* ubuf, std::size_t n) {
-  Scope scope(*this, p, Sys::kRead);
+SysRet Kernel::do_close(Scope& scope, const SysArgs& a) {
+  Result<void> r = vfs_.close(scope.process().fds, static_cast<int>(a.a0));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
+}
+
+SysRet Kernel::do_dup(Scope& scope, const SysArgs& a) {
+  Result<int> r = vfs_.dup(scope.process().fds, static_cast<int>(a.a0));
+  if (!r) return scope.fail(r.error());
+  return scope.done(r.value());
+}
+
+SysRet Kernel::do_read(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  const int fd = static_cast<int>(a.a0);
+  void* ubuf = uptr<void>(a.a1);
+  std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
+  // EBADF before EFAULT, and before any buffer allocation: a bad
+  // descriptor must not cost a kernel allocation or touch user memory.
+  fs::OpenFile* f = p.fds.get(fd);
+  if (f == nullptr || (f->flags & fs::kAccessMode) == fs::kOWrOnly) {
+    return scope.fail(Errno::kEBADF);
+  }
   if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
-  n = std::min(n, kMaxIo);
   std::vector<std::byte> kbuf(n);
   Result<std::size_t> r = vfs_.read(p.fds, fd, std::span(kbuf.data(), n));
   if (!r) return scope.fail(r.error());
   if (r.value() > 0) {
-    boundary_.copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+    if (Result<std::size_t> c =
+            boundary_.copy_to_user(p.task, ubuf, kbuf.data(), r.value());
+        !c) {
+      // The user never saw the bytes: rewind the position the VFS
+      // advanced so the data is not silently consumed.
+      f->pos -= r.value();
+      return scope.fail(c.error());
+    }
   }
   return scope.done(static_cast<SysRet>(r.value()));
 }
 
-SysRet Kernel::sys_write(Process& p, int fd, const void* ubuf,
-                         std::size_t n) {
-  Scope scope(*this, p, Sys::kWrite);
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+SysRet Kernel::do_write(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  const int fd = static_cast<int>(a.a0);
+  const void* ubuf = uptr<const void>(a.a1);
+  std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
   // Validate the descriptor before paying for the copy-in: a bad or
   // read-only fd must fail without charging the caller for user->kernel
-  // bytes (parity with sys_read, which never copies on EBADF).
+  // bytes (parity with do_read, which never copies on EBADF).
   fs::OpenFile* f = p.fds.get(fd);
   if (f == nullptr || (f->flags & fs::kAccessMode) == fs::kORdOnly) {
     return scope.fail(Errno::kEBADF);
   }
-  n = std::min(n, kMaxIo);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
   std::vector<std::byte> kbuf(n);
-  boundary_.copy_from_user(p.task, kbuf.data(), ubuf, n);
+  if (Result<std::size_t> c =
+          boundary_.copy_from_user(p.task, kbuf.data(), ubuf, n);
+      !c) {
+    return scope.fail(c.error());
+  }
   Result<std::size_t> r = vfs_.write(p.fds, fd, std::span(kbuf.data(), n));
   if (!r) return scope.fail(r.error());
   return scope.done(static_cast<SysRet>(r.value()));
 }
 
-SysRet Kernel::sys_lseek(Process& p, int fd, std::int64_t off, int whence) {
-  Scope scope(*this, p, Sys::kLseek);
-  Result<std::uint64_t> r = vfs_.lseek(p.fds, fd, off, whence);
+SysRet Kernel::do_lseek(Scope& scope, const SysArgs& a) {
+  Result<std::uint64_t> r =
+      vfs_.lseek(scope.process().fds, static_cast<int>(a.a0),
+                 static_cast<std::int64_t>(a.a1), static_cast<int>(a.a2));
   if (!r) return scope.fail(r.error());
   return scope.done(static_cast<SysRet>(r.value()));
 }
 
-SysRet Kernel::sys_stat(Process& p, const char* upath, fs::StatBuf* ust) {
-  Scope scope(*this, p, Sys::kStat);
+SysRet Kernel::do_stat(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  fs::StatBuf* ust = uptr<fs::StatBuf>(a.a1);
   if (ust == nullptr) return scope.fail(Errno::kEFAULT);
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
   fs::StatBuf st;
-  Errno e = vfs_.stat(std::string_view(kpath, static_cast<std::size_t>(len)),
-                      &st);
-  if (e != Errno::kOk) return scope.fail(e);
-  boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+  Result<void> r = vfs_.stat(
+      std::string_view(kpath, static_cast<std::size_t>(len)), &st);
+  if (!r.ok()) return scope.fail(r.error());
+  if (Result<std::size_t> c =
+          boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+      !c) {
+    return scope.fail(c.error());
+  }
   return scope.done(0);
 }
 
-SysRet Kernel::sys_fstat(Process& p, int fd, fs::StatBuf* ust) {
-  Scope scope(*this, p, Sys::kFstat);
-  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+SysRet Kernel::do_fstat(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  fs::StatBuf* ust = uptr<fs::StatBuf>(a.a1);
+  // EBADF before EFAULT: descriptor validity is decided first, like
+  // Linux's fstat (fdget before copy_to_user can fault).
   fs::StatBuf st;
-  Errno e = vfs_.fstat(p.fds, fd, &st);
-  if (e != Errno::kOk) return scope.fail(e);
-  boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+  Result<void> r = vfs_.fstat(p.fds, static_cast<int>(a.a0), &st);
+  if (!r.ok()) return scope.fail(r.error());
+  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+  if (Result<std::size_t> c =
+          boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
+      !c) {
+    return scope.fail(c.error());
+  }
   return scope.done(0);
 }
 
-SysRet Kernel::sys_readdir(Process& p, int fd, void* ubuf, std::size_t n) {
-  Scope scope(*this, p, Sys::kReaddir);
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+SysRet Kernel::do_readdir(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
+  const int fd = static_cast<int>(a.a0);
+  void* ubuf = uptr<void>(a.a1);
+  std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
+  // EBADF before EFAULT (see do_read).
   fs::OpenFile* f = p.fds.get(fd);
   if (f == nullptr) return scope.fail(Errno::kEBADF);
-  n = std::min(n, kMaxIo);
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
 
   // Estimate how many entries can fit, fetch a window, pack what fits.
   std::size_t max_entries = std::max<std::size_t>(1, n / sizeof(DirentHdr));
@@ -204,96 +353,105 @@ SysRet Kernel::sys_readdir(Process& p, int fd, void* ubuf, std::size_t n) {
     off += rec;
     ++taken;
   }
+  if (off > 0) {
+    if (Result<std::size_t> c =
+            boundary_.copy_to_user(p.task, ubuf, kbuf.data(), off);
+        !c) {
+      // Position was not advanced yet: the faulted batch is re-readable.
+      return scope.fail(c.error());
+    }
+  }
   f->pos += taken;
-  if (off > 0) boundary_.copy_to_user(p.task, ubuf, kbuf.data(), off);
   return scope.done(static_cast<SysRet>(off));
 }
 
-SysRet Kernel::sys_unlink(Process& p, const char* upath) {
-  Scope scope(*this, p, Sys::kUnlink);
+SysRet Kernel::do_unlink(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
-  Errno e =
+  Result<void> r =
       vfs_.unlink(std::string_view(kpath, static_cast<std::size_t>(len)));
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_mkdir(Process& p, const char* upath, std::uint32_t mode) {
-  Scope scope(*this, p, Sys::kMkdir);
+SysRet Kernel::do_mkdir(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
-  Errno e = vfs_.mkdir(std::string_view(kpath, static_cast<std::size_t>(len)),
-                       mode);
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r =
+      vfs_.mkdir(std::string_view(kpath, static_cast<std::size_t>(len)),
+                 static_cast<std::uint32_t>(a.a1));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_rmdir(Process& p, const char* upath) {
-  Scope scope(*this, p, Sys::kRmdir);
+SysRet Kernel::do_rmdir(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
-  Errno e = vfs_.rmdir(std::string_view(kpath, static_cast<std::size_t>(len)));
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r =
+      vfs_.rmdir(std::string_view(kpath, static_cast<std::size_t>(len)));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_rename(Process& p, const char* ufrom, const char* uto) {
-  Scope scope(*this, p, Sys::kRename);
+SysRet Kernel::do_rename(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kfrom[kMaxPath];
   char kto[kMaxPath];
-  std::int64_t fl = get_user_path(p, ufrom, kfrom);
+  std::int64_t fl = get_user_path(p, uptr<const char>(a.a0), kfrom);
   if (fl < 0) return scope.done(fl);
-  std::int64_t tl = get_user_path(p, uto, kto);
+  std::int64_t tl = get_user_path(p, uptr<const char>(a.a1), kto);
   if (tl < 0) return scope.done(tl);
-  Errno e = vfs_.rename(std::string_view(kfrom, static_cast<std::size_t>(fl)),
-                        std::string_view(kto, static_cast<std::size_t>(tl)));
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r =
+      vfs_.rename(std::string_view(kfrom, static_cast<std::size_t>(fl)),
+                  std::string_view(kto, static_cast<std::size_t>(tl)));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_truncate(Process& p, const char* upath,
-                            std::uint64_t size) {
-  Scope scope(*this, p, Sys::kTruncate);
+SysRet Kernel::do_truncate(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
-  Errno e = vfs_.truncate(
-      std::string_view(kpath, static_cast<std::size_t>(len)), size);
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r = vfs_.truncate(
+      std::string_view(kpath, static_cast<std::size_t>(len)), a.a1);
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_link(Process& p, const char* ufrom, const char* uto) {
-  Scope scope(*this, p, Sys::kLink);
+SysRet Kernel::do_getpid(Scope& scope, const SysArgs& /*a*/) {
+  return scope.done(static_cast<SysRet>(scope.process().task.pid()));
+}
+
+SysRet Kernel::do_sync(Scope& scope, const SysArgs& /*a*/) {
+  Result<void> r = vfs_.filesystem().sync();
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
+}
+
+SysRet Kernel::do_link(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kfrom[kMaxPath];
   char kto[kMaxPath];
-  std::int64_t fl = get_user_path(p, ufrom, kfrom);
+  std::int64_t fl = get_user_path(p, uptr<const char>(a.a0), kfrom);
   if (fl < 0) return scope.done(fl);
-  std::int64_t tl = get_user_path(p, uto, kto);
+  std::int64_t tl = get_user_path(p, uptr<const char>(a.a1), kto);
   if (tl < 0) return scope.done(tl);
-  Errno e = vfs_.link(std::string_view(kfrom, static_cast<std::size_t>(fl)),
-                      std::string_view(kto, static_cast<std::size_t>(tl)));
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r =
+      vfs_.link(std::string_view(kfrom, static_cast<std::size_t>(fl)),
+                std::string_view(kto, static_cast<std::size_t>(tl)));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
-SysRet Kernel::sys_chmod(Process& p, const char* upath, std::uint32_t mode) {
-  Scope scope(*this, p, Sys::kChmod);
+SysRet Kernel::do_chmod(Scope& scope, const SysArgs& a) {
+  Process& p = scope.process();
   char kpath[kMaxPath];
-  std::int64_t len = get_user_path(p, upath, kpath);
+  std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
   if (len < 0) return scope.done(len);
-  Errno e = vfs_.chmod(std::string_view(kpath, static_cast<std::size_t>(len)),
-                       mode);
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
-}
-
-SysRet Kernel::sys_getpid(Process& p) {
-  Scope scope(*this, p, Sys::kGetpid);
-  return scope.done(static_cast<SysRet>(p.task.pid()));
-}
-
-SysRet Kernel::sys_sync(Process& p) {
-  Scope scope(*this, p, Sys::kSync);
-  Errno e = vfs_.filesystem().sync();
-  return e == Errno::kOk ? scope.done(0) : scope.fail(e);
+  Result<void> r =
+      vfs_.chmod(std::string_view(kpath, static_cast<std::size_t>(len)),
+                 static_cast<std::uint32_t>(a.a1));
+  return r.ok() ? scope.done(0) : scope.fail(r.error());
 }
 
 }  // namespace usk::uk

@@ -8,6 +8,7 @@
 // exactly one boundary crossing and its copies are accounted.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -136,7 +137,28 @@ class Kernel {
     std::chrono::steady_clock::time_point wall0_;
   };
 
-  // --- classic system calls ---------------------------------------------------
+  // --- the syscall gateway -----------------------------------------------------
+  /// Register-file argument block, the simulated ABI: up to four u64s,
+  /// pointers reinterpreted. Every classic call funnels through
+  /// syscall() -- ONE place owns the Scope (crossing, audit, ktrace), one
+  /// numbered table routes to handlers, unknown numbers get ENOSYS. The
+  /// typed sys_* wrappers below are the "userlib-facing" ABI and just
+  /// pack arguments.
+  struct SysArgs {
+    std::uint64_t a0;
+    std::uint64_t a1;
+    std::uint64_t a2;
+    std::uint64_t a3;
+  };
+
+  /// Pack a user pointer into a syscall argument register.
+  static std::uint64_t uarg(const void* p) {
+    return reinterpret_cast<std::uint64_t>(p);
+  }
+
+  SysRet syscall(Process& p, Sys nr, const SysArgs& a = SysArgs{});
+
+  // --- classic system calls (typed wrappers over syscall()) --------------------
   SysRet sys_open(Process& p, const char* upath, int flags,
                   std::uint32_t mode);
   SysRet sys_close(Process& p, int fd);
@@ -166,6 +188,31 @@ class Kernel {
  private:
   /// Copy a user path into `kpath`; returns length or negative errno.
   std::int64_t get_user_path(Process& p, const char* upath, char* kpath);
+
+  // --- numbered syscall table ------------------------------------------------
+  using SysHandler = SysRet (Kernel::*)(Scope&, const SysArgs&);
+  using HandlerTable =
+      std::array<SysHandler, static_cast<std::size_t>(Sys::kMaxSys)>;
+  static const HandlerTable& handlers();
+
+  SysRet do_open(Scope& scope, const SysArgs& a);
+  SysRet do_close(Scope& scope, const SysArgs& a);
+  SysRet do_dup(Scope& scope, const SysArgs& a);
+  SysRet do_read(Scope& scope, const SysArgs& a);
+  SysRet do_write(Scope& scope, const SysArgs& a);
+  SysRet do_lseek(Scope& scope, const SysArgs& a);
+  SysRet do_stat(Scope& scope, const SysArgs& a);
+  SysRet do_fstat(Scope& scope, const SysArgs& a);
+  SysRet do_readdir(Scope& scope, const SysArgs& a);
+  SysRet do_unlink(Scope& scope, const SysArgs& a);
+  SysRet do_mkdir(Scope& scope, const SysArgs& a);
+  SysRet do_rmdir(Scope& scope, const SysArgs& a);
+  SysRet do_rename(Scope& scope, const SysArgs& a);
+  SysRet do_truncate(Scope& scope, const SysArgs& a);
+  SysRet do_getpid(Scope& scope, const SysArgs& a);
+  SysRet do_sync(Scope& scope, const SysArgs& a);
+  SysRet do_link(Scope& scope, const SysArgs& a);
+  SysRet do_chmod(Scope& scope, const SysArgs& a);
 
   base::WorkEngine engine_;
   vm::PhysMem phys_;

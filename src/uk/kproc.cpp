@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "fault/kfail.hpp"
 #include "fs/vfs.hpp"
 #include "mm/kmalloc.hpp"
 #include "trace/ktrace.hpp"
@@ -192,6 +193,45 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
     }
     return out;
   });
+
+  // --- /proc/fail: runtime fault-injection control (see fault/kfail.hpp) ----
+  // Reading /proc/fail/spec shows the armed configuration; writing a spec
+  // string ("kmalloc:p=0.01:transient", "off", ...) applies it live.
+  pfs.add_file(
+      "/fail/spec", [] { return fault::kfail().format_spec(); },
+      [](std::string_view in) {
+        // Trim the trailing newline an `echo >` writer appends.
+        while (!in.empty() && (in.back() == '\n' || in.back() == ' ')) {
+          in.remove_suffix(1);
+        }
+        Result<void> r = fault::kfail().apply_spec(in);
+        return r.ok() ? Errno::kOk : r.error();
+      });
+  pfs.add_file("/fail/stats",
+               [] { return fault::kfail().format_stats(); },
+               [](std::string_view) {
+                 fault::kfail().reset_stats();
+                 return Errno::kOk;
+               });
+  pfs.add_file(
+      "/fail/seed",
+      [] {
+        std::string out;
+        appendf(out, "%" PRIu64 "\n", fault::kfail().seed());
+        return out;
+      },
+      [](std::string_view in) {
+        std::uint64_t seed = 0;
+        bool any = false;
+        for (char ch : in) {
+          if (ch < '0' || ch > '9') break;
+          seed = seed * 10 + static_cast<std::uint64_t>(ch - '0');
+          any = true;
+        }
+        if (!any) return Errno::kEINVAL;
+        fault::kfail().set_seed(seed);
+        return Errno::kOk;
+      });
 }
 
 }  // namespace usk::uk

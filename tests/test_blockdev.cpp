@@ -24,7 +24,7 @@ TEST(DiskTest, SequentialIsCheapRandomSeeks) {
   disk.set_charge_hook([&](std::uint64_t u) { charged += u; });
 
   // Sequential scan: only the first access seeks.
-  for (blockdev::Lba lba = 0; lba < 64; ++lba) disk.read(lba);
+  for (blockdev::Lba lba = 0; lba < 64; ++lba) ASSERT_TRUE(disk.read(lba).ok());
   std::uint64_t seq_units = charged;
   EXPECT_EQ(disk.stats().seeks, 0u);  // head starts at 0
   EXPECT_EQ(disk.stats().sequential_hits, 64u);
@@ -33,7 +33,7 @@ TEST(DiskTest, SequentialIsCheapRandomSeeks) {
   charged = 0;
   base::Rng rng(5);
   for (int i = 0; i < 64; ++i) {
-    disk.read(rng.below(1 << 20));
+    ASSERT_TRUE(disk.read(rng.below(1 << 20)).ok());
   }
   EXPECT_GT(disk.stats().seeks, 60u);
   EXPECT_GT(charged, seq_units * 5);
@@ -44,20 +44,20 @@ TEST(DiskTest, SeekCostGrowsWithDistance) {
   std::uint64_t charged = 0;
   disk.set_charge_hook([&](std::uint64_t u) { charged = u; });
 
-  disk.read(0);
-  disk.read(100);  // short seek
+  ASSERT_TRUE(disk.read(0).ok());
+  ASSERT_TRUE(disk.read(100).ok());  // short seek
   std::uint64_t short_seek = charged;
-  disk.read(0);
-  disk.read(1 << 19);  // long seek
+  ASSERT_TRUE(disk.read(0).ok());
+  ASSERT_TRUE(disk.read(1 << 19).ok());  // long seek
   std::uint64_t long_seek = charged;
   EXPECT_GT(long_seek, short_seek);
 }
 
 TEST(DiskTest, HeadFollowsTransfers) {
   blockdev::Disk disk(1024);
-  disk.read(10);
+  ASSERT_TRUE(disk.read(10).ok());
   EXPECT_EQ(disk.head(), 11u);
-  disk.read(11);  // sequential
+  ASSERT_TRUE(disk.read(11).ok());  // sequential
   EXPECT_EQ(disk.stats().sequential_hits, 1u);
 }
 
@@ -67,7 +67,7 @@ TEST(BufferCacheTest, HitsAvoidTheDisk) {
   blockdev::Disk disk(4096);
   blockdev::BufferCache cache(disk, 64);
   for (int round = 0; round < 10; ++round) {
-    for (blockdev::Lba lba = 0; lba < 32; ++lba) cache.read(lba);
+    for (blockdev::Lba lba = 0; lba < 32; ++lba) ASSERT_TRUE(cache.read(lba).ok());
   }
   EXPECT_EQ(cache.stats().misses, 32u);       // first round only
   EXPECT_EQ(cache.stats().hits, 9u * 32u);
@@ -78,39 +78,39 @@ TEST(BufferCacheTest, HitsAvoidTheDisk) {
 TEST(BufferCacheTest, LruEvictionOrder) {
   blockdev::Disk disk(4096);
   blockdev::BufferCache cache(disk, 4);
-  cache.read(1);
-  cache.read(2);
-  cache.read(3);
-  cache.read(4);
-  cache.read(1);  // refresh 1
-  cache.read(5);  // evicts 2
+  ASSERT_TRUE(cache.read(1).ok());
+  ASSERT_TRUE(cache.read(2).ok());
+  ASSERT_TRUE(cache.read(3).ok());
+  ASSERT_TRUE(cache.read(4).ok());
+  ASSERT_TRUE(cache.read(1).ok());  // refresh 1
+  ASSERT_TRUE(cache.read(5).ok());  // evicts 2
   std::uint64_t misses = cache.stats().misses;
-  cache.read(1);  // still cached
+  ASSERT_TRUE(cache.read(1).ok());  // still cached
   EXPECT_EQ(cache.stats().misses, misses);
-  cache.read(2);  // was evicted
+  ASSERT_TRUE(cache.read(2).ok());  // was evicted
   EXPECT_EQ(cache.stats().misses, misses + 1);
 }
 
 TEST(BufferCacheTest, WriteBackOnlyOnEvictionOrFlush) {
   blockdev::Disk disk(4096);
   blockdev::BufferCache cache(disk, 8);
-  for (blockdev::Lba lba = 0; lba < 8; ++lba) cache.write(lba);
+  for (blockdev::Lba lba = 0; lba < 8; ++lba) ASSERT_TRUE(cache.write(lba).ok());
   // Writes are buffered: the disk saw only the fill reads.
   EXPECT_EQ(disk.stats().writes, 0u);
-  cache.flush();
+  ASSERT_TRUE(cache.flush().ok());
   EXPECT_EQ(disk.stats().writes, 8u);
   EXPECT_EQ(cache.stats().writebacks, 8u);
   // Clean after flush: another flush writes nothing.
-  cache.flush();
+  ASSERT_TRUE(cache.flush().ok());
   EXPECT_EQ(disk.stats().writes, 8u);
 }
 
 TEST(BufferCacheTest, DirtyEvictionWritesBack) {
   blockdev::Disk disk(4096);
   blockdev::BufferCache cache(disk, 2);
-  cache.write(1);
-  cache.write(2);
-  cache.read(3);  // evicts dirty 1
+  ASSERT_TRUE(cache.write(1).ok());
+  ASSERT_TRUE(cache.write(2).ok());
+  ASSERT_TRUE(cache.read(3).ok());  // evicts dirty 1
   EXPECT_EQ(disk.stats().writes, 1u);
   EXPECT_EQ(cache.stats().evictions, 1u);
 }

@@ -169,7 +169,7 @@ TEST_F(NewCallsTest, ReaddirPlusReturnsNamesAndStats) {
   for (int i = 0; i < 20; ++i) {
     std::string p = "/d/f" + std::to_string(i);
     int fd = proc_.open(p.c_str(), fs::kOWrOnly | fs::kOCreat);
-    char data[10] = {};
+    char data[20] = {};  // file i is i bytes long (i < 20)
     proc_.write(fd, data, static_cast<std::size_t>(i));
     proc_.close(fd);
   }

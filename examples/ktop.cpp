@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "net/net.hpp"
+#include "sup/supervisor.hpp"
 #include "uk/userlib.hpp"
 
 namespace {
@@ -82,6 +83,31 @@ void socket_workload(net::Net& net, uk::Proc& p, std::uint16_t port) {
   p.close(lfd);
 }
 
+/// Supervisor walkthrough: register one extension and drive it through
+/// the whole breaker cycle -- two violations put it in probation then
+/// quarantine, the backoff window routes invocations to the user-space
+/// fallback, a clean probe re-admits it. The story is then read back
+/// through /proc/sup/{extensions,events} like any other ktop panel.
+void supervisor_workload(sup::Supervisor& s) {
+  sup::BreakerPolicy pol;
+  pol.violation_threshold = 1;   // one strike starts probation
+  pol.probation_clean_runs = 1;  // one clean probe re-admits
+  pol.backoff_initial = 2;       // two fallback ticks before the probe
+  sup::ExtId id = s.register_extension("ktop.scan", sup::Vehicle::kCosy);
+  s.set_policy(id, pol);
+
+  for (int i = 0; i < 8; ++i) {
+    sup::Route r = s.route(id);
+    sup::InvocationGuard g(s, id, /*task=*/nullptr, r);
+    if (r == sup::Route::kFallback) {
+      g.set_result(0);  // classic user-space path served the request
+      continue;
+    }
+    // In-kernel path: the first two invocations fault, the rest behave.
+    g.set_result(i < 2 ? sysret_err(Errno::kEFAULT) : 0);
+  }
+}
+
 void render_frame(uk::Proc& p, int frame) {
   std::string self = read_proc_file(p, "/proc/self/stat");
   std::string vfs = read_proc_file(p, "/proc/vfs/stats");
@@ -137,6 +163,8 @@ int main() {
   rootfs.set_cost_hook(kernel.charge_hook());
   net::Net net(kernel);
   net.register_proc(kernel.mount_procfs());
+  sup::Supervisor supervisor(kernel);
+  supervisor.register_proc(kernel.mount_procfs());
   uk::Proc top(kernel, "ktop");
   top.mkdir("/work");
 
@@ -150,6 +178,15 @@ int main() {
     socket_workload(net, top, static_cast<std::uint16_t>(9000 + frame));
     render_frame(top, frame);
   }
+
+  // Extension-supervisor panel: walk one extension through violation ->
+  // probation -> quarantine -> fallback -> probe -> re-admission, then
+  // show the breaker state and event ledger straight from /proc/sup.
+  supervisor_workload(supervisor);
+  std::printf("\nextension breaker state (/proc/sup/extensions):\n%s",
+              read_proc_file(top, "/proc/sup/extensions").c_str());
+  std::printf("\nbreaker event ledger (/proc/sup/events):\n%s",
+              read_proc_file(top, "/proc/sup/events").c_str());
 
   std::printf("\ntracepoint sites (/proc/trace/events):\n%s",
               read_proc_file(top, "/proc/trace/events").c_str());

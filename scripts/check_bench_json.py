@@ -15,6 +15,14 @@ rely on it:
     ops_per_sec (number >= 0), elapsed_s (number >= 0)
   - no unknown keys (catches format drift in one writer)
 
+A repeatable --expect <bench> flag additionally fails the check when a
+named bench contributed no records -- so CI catches a bench binary that
+silently stopped emitting (crashed early, lost its JsonWriter wiring)
+even though every surviving line still validates:
+
+    scripts/check_bench_json.py --expect bench_fault_storm \
+        --expect bench_supervisor /tmp/bench.jsonl
+
 Exit status: 0 if the whole file validates, 1 otherwise (each bad line is
 reported). Stdlib only.
 """
@@ -59,14 +67,29 @@ def check_record(obj, lineno, errors):
 
 
 def main(argv):
-    if len(argv) != 2:
-        print(f"usage: {argv[0]} <bench.jsonl>", file=sys.stderr)
+    expected = []
+    args = []
+    it = iter(argv[1:])
+    for arg in it:
+        if arg == "--expect":
+            name = next(it, None)
+            if name is None:
+                print("error: --expect needs a bench name", file=sys.stderr)
+                return 2
+            expected.append(name)
+        else:
+            args.append(arg)
+    if len(args) != 1:
+        print(
+            f"usage: {argv[0]} [--expect <bench>]... <bench.jsonl>",
+            file=sys.stderr,
+        )
         return 2
     errors = []
     records = 0
     benches = set()
     try:
-        with open(argv[1], encoding="utf-8") as f:
+        with open(args[0], encoding="utf-8") as f:
             for lineno, line in enumerate(f, start=1):
                 line = line.strip()
                 if not line:
@@ -84,6 +107,9 @@ def main(argv):
         print(f"error: {e}", file=sys.stderr)
         return 1
 
+    for name in expected:
+        if name not in benches:
+            errors.append(f"expected bench '{name}' has no records")
     for err in errors:
         print(err, file=sys.stderr)
     if errors:

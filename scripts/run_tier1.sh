@@ -5,15 +5,22 @@
 #   faults  the same kernel-path suites re-run with USK_FAIL_SPEC armed
 #           (label `faults`: seeded p=0.01 transient injection at kmalloc,
 #           the disk, and the network -- must pass with zero failures)
+#   sup     the supervisor-facing suites re-run with USK_SUP_SPEC armed
+#           (label `sup`: aggressive breaker policy + transient faults on
+#           the supervised paths, forcing probation/quarantine/re-admission
+#           cycles under every test's assertions)
 #   asan    the fault soak again under AddressSanitizer, proving the
 #           injected error paths free everything they unwind past
+#   ubsan   the fault + sup soaks under UndefinedBehaviorSanitizer
+#           (halt_on_error: any UB report is a red run)
 #
-# Usage: scripts/run_tier1.sh [plain|faults|asan|tsan|all]   (default: all)
+# Usage: scripts/run_tier1.sh [plain|faults|sup|asan|ubsan|tsan|all]
+#                                                          (default: all)
 #
-# Build trees: build/ (plain + faults), build-asan/, build-tsan/. TSan is
-# optional (heavyweight); `all` runs plain+faults+asan, matching the
-# checked-in acceptance gates. Fails fast: the first red suite stops the
-# script with a nonzero exit.
+# Build trees: build/ (plain + faults + sup), build-asan/, build-ubsan/,
+# build-tsan/. TSan is optional (heavyweight); `all` runs
+# plain+faults+sup+asan+ubsan, matching the checked-in acceptance gates.
+# Fails fast: the first red suite stops the script with a nonzero exit.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,17 +35,24 @@ build() {  # build <dir> [extra cmake args...]
 
 run_plain()  { build build; (cd build && ctest -L tier1 -LE faults -j "$jobs" --output-on-failure); }
 run_faults() { build build; (cd build && ctest -L faults -j "$jobs" --output-on-failure); }
+run_sup()    { build build; (cd build && ctest -L sup -j "$jobs" --output-on-failure); }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
+run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
+               (cd build-ubsan &&
+                UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+                  ctest -L 'faults|sup' -j "$jobs" --output-on-failure); }
 run_tsan()   { build build-tsan -DUSK_SANITIZE=thread;
                (cd build-tsan && ctest -R Smp -j "$jobs" --output-on-failure); }
 
 case "$mode" in
   plain)  run_plain ;;
   faults) run_faults ;;
+  sup)    run_sup ;;
   asan)   run_asan ;;
+  ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_asan ;;
-  *) echo "usage: $0 [plain|faults|asan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

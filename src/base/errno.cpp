@@ -37,6 +37,7 @@ std::string_view errno_name(Errno e) {
     case Errno::kEISCONN: return "EISCONN";
     case Errno::kENOTCONN: return "ENOTCONN";
     case Errno::kECONNREFUSED: return "ECONNREFUSED";
+    case Errno::kEDQUOT: return "EDQUOT";
     case Errno::kEKILLED: return "EKILLED";
   }
   return "E???";

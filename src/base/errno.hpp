@@ -49,6 +49,7 @@ enum class Errno : std::int32_t {
   kEISCONN = 106,      ///< Socket is already connected
   kENOTCONN = 107,     ///< Socket is not connected
   kECONNREFUSED = 111, ///< No listener on the target port
+  kEDQUOT = 122,       ///< Resource quota exceeded (supervisor caps)
   kEKILLED = 132, ///< Task killed by the safety watchdog
 };
 

@@ -1,5 +1,6 @@
 #include "base/klog.hpp"
 
+#include <algorithm>
 #include <cstdarg>
 #include <cstdio>
 
@@ -45,6 +46,39 @@ bool KLog::contains(std::string_view needle) const {
 void KLog::clear() {
   std::lock_guard lk(mu_);
   ring_.clear();
+}
+
+RateLimit& RateLimitRegistry::site(std::string_view name,
+                                   std::uint32_t burst,
+                                   std::uint64_t interval_ns) {
+  std::lock_guard lk(mu_);
+  for (auto& [n, rl] : sites_) {
+    if (n == name) return *rl;
+  }
+  sites_.emplace_back(std::string(name),
+                      std::make_unique<RateLimit>(burst, interval_ns));
+  return *sites_.back().second;
+}
+
+std::vector<RateLimitRegistry::SiteReport> RateLimitRegistry::report() const {
+  std::vector<SiteReport> out;
+  {
+    std::lock_guard lk(mu_);
+    out.reserve(sites_.size());
+    for (const auto& [n, rl] : sites_) {
+      out.push_back(SiteReport{n, rl->suppressed()});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SiteReport& a, const SiteReport& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+RateLimitRegistry& klog_ratelimits() {
+  static RateLimitRegistry instance;
+  return instance;
 }
 
 KLog& klog() {

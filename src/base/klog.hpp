@@ -12,8 +12,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 namespace usk::base {
@@ -131,6 +134,35 @@ class RateLimit {
   std::uint64_t report_ = 0;
 };
 
+/// Named per-site rate-limit registry. Every USK_KLOG_RATELIMIT site owns
+/// its own RateLimit (keyed by an explicit name or by file:line), so one
+/// noisy site -- say a supervisor spamming quarantine events -- can never
+/// consume another site's budget or hide its suppression count: the
+/// watchdog keeps logging no matter how loud its neighbours are.
+/// report() exposes per-site suppression totals (/proc/kernel/ratelimits).
+class RateLimitRegistry {
+ public:
+  /// The RateLimit for `name`, created with (burst, interval_ns) on first
+  /// use. Later calls return the same limiter; the first configuration
+  /// wins. The reference stays valid for the registry's lifetime.
+  RateLimit& site(std::string_view name, std::uint32_t burst,
+                  std::uint64_t interval_ns);
+
+  struct SiteReport {
+    std::string name;
+    std::uint64_t suppressed = 0;  ///< total events this site suppressed
+  };
+  /// Snapshot of every registered site, sorted by name.
+  [[nodiscard]] std::vector<SiteReport> report() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, std::unique_ptr<RateLimit>>> sites_;
+};
+
+/// Process-wide registry behind USK_KLOG_RATELIMIT.
+RateLimitRegistry& klog_ratelimits();
+
 /// Process-wide kernel log instance (the simulated machine has one syslog).
 KLog& klog();
 
@@ -154,21 +186,34 @@ void klogf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2
     }                                                          \
   } while (0)
 
-/// Rate-limited USK_KLOG: this site logs at most `burst` messages per
-/// second; a completed window's suppressions surface as one summary line.
-#define USK_KLOG_RATELIMIT(level, burst, ...)                          \
-  do {                                                                 \
-    if constexpr (static_cast<int>(level) >= USK_KLOG_MIN_LEVEL) {     \
-      static ::usk::base::RateLimit _usk_klog_rl{(burst),              \
-                                                 1'000'000'000ull};    \
-      if (_usk_klog_rl.allow()) {                                      \
-        if (std::uint64_t _usk_klog_rs = _usk_klog_rl.take_report();   \
-            _usk_klog_rs != 0) {                                       \
-          ::usk::base::klogf(                                          \
-              (level), "klog: %llu messages suppressed at this site",  \
-              static_cast<unsigned long long>(_usk_klog_rs));          \
-        }                                                              \
-        ::usk::base::klogf((level), __VA_ARGS__);                      \
-      }                                                                \
-    }                                                                  \
+/// Rate-limited USK_KLOG with an explicit site name: the site logs at
+/// most `burst` messages per second out of ITS OWN budget (per-site
+/// limiter from klog_ratelimits(), never shared with any other site); a
+/// completed window's suppressions surface as one summary line naming
+/// the site.
+#define USK_KLOG_RATELIMIT_NAMED(sitename, level, burst, ...)            \
+  do {                                                                   \
+    if constexpr (static_cast<int>(level) >= USK_KLOG_MIN_LEVEL) {       \
+      static ::usk::base::RateLimit& _usk_klog_rl =                      \
+          ::usk::base::klog_ratelimits().site((sitename), (burst),       \
+                                              1'000'000'000ull);         \
+      if (_usk_klog_rl.allow()) {                                        \
+        if (std::uint64_t _usk_klog_rs = _usk_klog_rl.take_report();     \
+            _usk_klog_rs != 0) {                                         \
+          ::usk::base::klogf(                                            \
+              (level), "klog: %llu messages suppressed at site %s",      \
+              static_cast<unsigned long long>(_usk_klog_rs),             \
+              (sitename));                                               \
+        }                                                                \
+        ::usk::base::klogf((level), __VA_ARGS__);                        \
+      }                                                                  \
+    }                                                                    \
   } while (0)
+
+#define USK_KLOG_STRINGIFY2(x) #x
+#define USK_KLOG_STRINGIFY(x) USK_KLOG_STRINGIFY2(x)
+
+/// Rate-limited USK_KLOG, site named after the expansion's file:line.
+#define USK_KLOG_RATELIMIT(level, burst, ...)                          \
+  USK_KLOG_RATELIMIT_NAMED(__FILE__ ":" USK_KLOG_STRINGIFY(__LINE__),  \
+                           level, burst, __VA_ARGS__)

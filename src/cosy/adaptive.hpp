@@ -65,9 +65,48 @@ class AdaptiveRegion {
         compound_(std::move(compound)),
         calibration_runs_(calibration_runs) {}
 
+  /// Put the region under a supervisor: the classic form becomes the
+  /// registered fallback for the compound. Quarantine re-routes run() to
+  /// classic_ transparently; re-admission probes re-isolate every
+  /// installed function and retry the compound; and a compound failure
+  /// while supervised is RESCUED by classic_ instead of permanently
+  /// locking the region to kClassic (the breaker owns that policy now).
+  /// `id` must be the id `ext` is supervised under.
+  void supervise(sup::Supervisor* s, sup::ExtId id) {
+    sup_ = s;
+    sup_id_ = id;
+    ext_.supervise(s, id);
+  }
+
   /// Execute the region once, the currently-chosen way. Returns the
   /// implementation that ran.
   Decision run(uk::Proc& proc) {
+    if (sup_ != nullptr) {
+      const sup::Route route = sup_->route(sup_id_);
+      if (route == sup::Route::kFallback) {
+        // Quarantined: the registered classic form serves the request in
+        // user space, accounted as a fallback run.
+        SysRet ret = 0;
+        sup::InvocationGuard g(*sup_, sup_id_, &proc.task(), route, &ret);
+        classic_(proc);
+        return Decision::kClassic;
+      }
+      if (route == sup::Route::kProbe) {
+        // Re-admission probe: full instrumentation (all trust revoked),
+        // classic rescue if the probe fails.
+        ext_.re_isolate_all();
+        SysRet ret = 0;
+        {
+          sup::InvocationGuard g(*sup_, sup_id_, &proc.task(), route, &ret);
+          CosyResult r = ext_.execute(proc.process(), compound_, shared_);
+          ret = r.ret;
+        }
+        if (ret != 0) classic_(proc);
+        return ret == 0 ? Decision::kCosy : Decision::kClassic;
+      }
+      // Route::kKernel falls through to the normal profiling/locked-in
+      // logic; ext_.execute opens its own guard.
+    }
     if (decision_ == Decision::kProfiling) {
       // Alternate, classic first.
       bool take_classic = profile_.classic_runs <= profile_.cosy_runs;
@@ -79,6 +118,13 @@ class AdaptiveRegion {
       } else {
         CosyResult r = ext_.execute(proc.process(), compound_, shared_);
         if (r.ret != 0) {
+          if (sup_ != nullptr) {
+            // Supervised: rescue with the classic form and keep
+            // profiling; quarantine (not a one-shot lock-in) is the
+            // response to a persistently failing compound.
+            classic_(proc);
+            return Decision::kClassic;
+          }
           // A failing compound can never be the offload choice.
           decision_ = Decision::kClassic;
           return Decision::kClassic;
@@ -91,7 +137,13 @@ class AdaptiveRegion {
     }
     if (decision_ == Decision::kCosy) {
       CosyResult r = ext_.execute(proc.process(), compound_, shared_);
-      if (r.ret != 0) decision_ = Decision::kClassic;  // fail back
+      if (r.ret != 0) {
+        if (sup_ != nullptr) {
+          classic_(proc);  // rescue; the breaker decides what's next
+          return Decision::kClassic;
+        }
+        decision_ = Decision::kClassic;  // fail back
+      }
       return Decision::kCosy;
     }
     classic_(proc);
@@ -126,6 +178,8 @@ class AdaptiveRegion {
   std::uint64_t calibration_runs_;
   Profile profile_;
   Decision decision_ = Decision::kProfiling;
+  sup::Supervisor* sup_ = nullptr;
+  sup::ExtId sup_id_ = -1;
 };
 
 }  // namespace usk::cosy

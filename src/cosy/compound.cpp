@@ -240,10 +240,14 @@ std::vector<std::uint8_t> serialize(const Compound& c) {
   std::size_t off = 0;
   std::memcpy(out.data(), &hdr, sizeof(hdr));
   off += sizeof(hdr);
-  std::memcpy(out.data() + off, c.ops.data(),
-              c.ops.size() * sizeof(OpRecord));
+  if (!c.ops.empty()) {
+    std::memcpy(out.data() + off, c.ops.data(),
+                c.ops.size() * sizeof(OpRecord));
+  }
   off += c.ops.size() * sizeof(OpRecord);
-  std::memcpy(out.data() + off, c.strpool.data(), c.strpool.size());
+  if (!c.strpool.empty()) {
+    std::memcpy(out.data() + off, c.strpool.data(), c.strpool.size());
+  }
   return out;
 }
 
@@ -263,8 +267,10 @@ bool deserialize(const std::vector<std::uint8_t>& image, Compound* out) {
 
   out->ops.resize(hdr.op_count);
   std::size_t off = sizeof(hdr);
-  std::memcpy(out->ops.data(), image.data() + off,
-              static_cast<std::size_t>(hdr.op_count) * sizeof(OpRecord));
+  if (hdr.op_count != 0) {
+    std::memcpy(out->ops.data(), image.data() + off,
+                static_cast<std::size_t>(hdr.op_count) * sizeof(OpRecord));
+  }
   off += static_cast<std::size_t>(hdr.op_count) * sizeof(OpRecord);
   out->strpool.assign(
       reinterpret_cast<const char*>(image.data() + off),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "base/klog.hpp"
 #include "fault/kfail.hpp"
@@ -16,6 +17,20 @@ constexpr std::uint64_t kMaxExecutedOps = 1 << 22;  // hard stop (defence in dep
 CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
                                   SharedBuffer& shared) {
   CosyResult out;
+  // Supervision: open an InvocationGuard BEFORE the syscall scope so the
+  // supervisor's gateway hook (which fires in the scope epilogue) still
+  // sees this thread bound to the extension. If the caller already opened
+  // a guard for this extension (a routed invocation or a re-admission
+  // probe), reuse it instead of nesting a second accounting frame.
+  std::optional<sup::InvocationGuard> own_guard;
+  sup::InvocationGuard* guard = sup::InvocationGuard::current();
+  if (sup_ == nullptr) {
+    guard = nullptr;
+  } else if (guard == nullptr || !guard->matches(*sup_, sup_id_)) {
+    own_guard.emplace(*sup_, sup_id_, &p.task, sup::Route::kKernel,
+                      &out.ret);
+    guard = &*own_guard;
+  }
   uk::Kernel::Scope scope(k_, p, uk::Sys::kCosy);
   USK_TRACE_LATENCY("cosy", "execute");
   USK_TRACEPOINT("cosy", "execute", c.ops.size());
@@ -66,22 +81,46 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
   std::uint64_t executed = 0;
   bool done = false;
 
-  // Descriptors opened by THIS compound, for rollback if kfail aborts it
-  // mid-stream: a half-run compound must not leak fds into the process
-  // (the caller never learned their numbers, so nobody would close them).
+  // Descriptors opened by THIS compound, for rollback if the compound is
+  // aborted mid-stream (kfail, quota overrun, watchdog kill): a half-run
+  // compound must not leak fds into the process (the caller never learned
+  // their numbers, so nobody would close them).
   std::vector<int> opened_fds;
-  auto fault_abort = [&](Errno e) {
+  auto rollback_fds = [&] {
     for (int ofd : opened_fds) {
       if (vfs.close(p.fds, ofd) == Errno::kOk) ++stats_.fds_rolled_back;
     }
+  };
+  auto fault_abort = [&](Errno e) {
+    rollback_fds();
     ++stats_.fault_aborts;
     ++stats_.aborted;
     out.ret = scope.fail(e);
     return out;
   };
+  // A quota overrun kills only the offending invocation: same rollback as
+  // a fault abort, surfaced as EDQUOT and counted separately.
+  auto quota_abort = [&] {
+    rollback_fds();
+    ++stats_.quota_aborts;
+    ++stats_.aborted;
+    out.ret = scope.fail(Errno::kEDQUOT);
+    return out;
+  };
+
+  // Deterministic fuel exhaustion: the harness can void this compound's
+  // fuel budget at entry -- before op 0, so no side effect has happened
+  // and a fallback retry is always safe (bench_supervisor's storm mode).
+  if (auto f = USK_FAIL_POINT(fault::Site::kCosyFuel); f.fail) {
+    if (guard != nullptr) guard->force_kind(sup::ViolationKind::kQuotaFuel);
+    return quota_abort();
+  } else if (f.transient) {
+    charge(50);  // simulated budget-refill stall
+  }
 
   while (!done) {
     if (executed++ > kMaxExecutedOps) {
+      rollback_fds();
       out.ret = scope.fail(Errno::kETIME);
       ++stats_.aborted;
       return out;
@@ -97,6 +136,15 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
     charge(decode_cost_);
     ++stats_.ops_executed;
     ++out.ops_run;
+
+    if (guard != nullptr) {
+      // One fuel unit per decoded op; VM instructions add theirs below.
+      if (!guard->charge_fuel(1)) return quota_abort();
+      if (guard->over_unit_quota()) {
+        guard->force_kind(sup::ViolationKind::kQuotaUnits);
+        return quota_abort();
+      }
+    }
 
     SysRet r = 0;
     bool jumped = false;
@@ -116,6 +164,9 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
                                   static_cast<int>(val(rec.args[1])),
                                   static_cast<std::uint32_t>(val(rec.args[2])));
         if (fd) opened_fds.push_back(fd.value());
+        if (guard != nullptr && !guard->check_fds(opened_fds.size())) {
+          return quota_abort();
+        }
         r = fd ? fd.value() : sysret_err(fd.error());
         break;
       }
@@ -368,6 +419,11 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
             // Back-edge: preemption point for the infinite-loop defence.
             ++stats_.back_edges;
             if (!sched.preempt_point()) {
+              // The watchdog kill is a mid-compound abort like any other:
+              // roll back this compound's fds so the kill cannot leak
+              // descriptors into the process.
+              rollback_fds();
+              ++stats_.watchdog_rollbacks;
               base::klogf(base::LogLevel::kCrit,
                           "cosy: compound killed by watchdog at op %zu", cur);
               out.ret = scope.fail(Errno::kEKILLED);
@@ -390,9 +446,10 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
         }
         std::int64_t fargs[kMaxArgs] = {};
         for (std::size_t i = 0; i < rec.nargs; ++i) fargs[i] = val(rec.args[i]);
+        VmRunStats vstats;
         Result<std::int64_t> res =
             fn->run(std::span(fargs, rec.nargs), sched, engine, vm_costs_,
-                    nullptr);
+                    guard != nullptr ? &vstats : nullptr);
         if (!res) {
           // A protection fault or watchdog kill inside the user function
           // aborts the compound (the paper's crash-the-module policy), and
@@ -404,11 +461,19 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
             base::klogf(base::LogLevel::kWarn,
                         "cosy: function '%s' re-isolated after violation",
                         fn->name().c_str());
+            // The supervisor keeps the re-isolation in its event ledger
+            // so operators see the trust revocation, not just the abort.
+            if (sup_ != nullptr) sup_->record_reisolation(sup_id_, fn->name());
           }
           fn->clean_runs = 0;
+          rollback_fds();
           out.ret = scope.fail(res.error());
           ++stats_.aborted;
           return out;
+        }
+        // Every interpreted VM instruction burns one fuel unit.
+        if (guard != nullptr && !guard->charge_fuel(vstats.instructions)) {
+          return quota_abort();
         }
         // Heuristic trust: enough clean executions turn the expensive
         // isolation off (paper §2.4).

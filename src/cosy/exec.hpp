@@ -15,6 +15,7 @@
 #include "cosy/compound.hpp"
 #include "cosy/shared_buffer.hpp"
 #include "cosy/vm.hpp"
+#include "sup/supervisor.hpp"
 #include "uk/kernel.hpp"
 
 namespace usk::cosy {
@@ -29,6 +30,8 @@ struct ExecStats {
   std::uint64_t fds_rolled_back = 0;  ///< fds closed by abort cleanup
   std::uint64_t trust_promotions = 0;  ///< functions switched to fast mode
   std::uint64_t trust_demotions = 0;   ///< violators re-isolated
+  std::uint64_t quota_aborts = 0;  ///< supervisor quota overruns (EDQUOT)
+  std::uint64_t watchdog_rollbacks = 0;  ///< fds rolled back on kill paths
 };
 
 /// Result of one compound execution. `results` holds each op's SysRet, in
@@ -81,6 +84,31 @@ class CosyExtension {
     trust_threshold_ = clean_runs;
   }
 
+  /// Put this extension under a supervisor. Every execute() then runs
+  /// under an InvocationGuard (unless the caller already opened one for
+  /// the same extension, e.g. a re-admission probe): fuel, fd and
+  /// work-unit quotas are enforced mid-compound with full fd rollback,
+  /// and violations / trust re-isolations feed the circuit breaker.
+  void supervise(sup::Supervisor* s, sup::ExtId id) {
+    sup_ = s;
+    sup_id_ = id;
+  }
+  [[nodiscard]] sup::Supervisor* supervisor() const { return sup_; }
+  [[nodiscard]] sup::ExtId sup_id() const { return sup_id_; }
+
+  /// Drop every installed function back to full isolation (quarantine
+  /// exit / probe entry: earned trust does not survive a quarantine).
+  void re_isolate_all() {
+    for (std::size_t i = 0; i < funcs_.size(); ++i) {
+      VmFunction& fn = funcs_.at(i);
+      if (fn.mode() == SafetyMode::kDataSegmentOnly) {
+        fn.set_mode(SafetyMode::kIsolatedSegments);
+        ++stats_.trust_demotions;
+      }
+      fn.clean_runs = 0;
+    }
+  }
+
  private:
   uk::Kernel& k_;
   seg::DescriptorTable gdt_;
@@ -88,6 +116,8 @@ class CosyExtension {
   VmCosts vm_costs_;
   std::uint64_t decode_cost_ = 25;
   std::uint64_t trust_threshold_ = 0;
+  sup::Supervisor* sup_ = nullptr;
+  sup::ExtId sup_id_ = -1;
   ExecStats stats_;
 };
 

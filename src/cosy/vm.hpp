@@ -149,6 +149,10 @@ class FunctionTable {
               SafetyMode mode, std::string name);
   VmFunction* get(int id);
 
+  [[nodiscard]] std::size_t size() const { return funcs_.size(); }
+  /// Installed function #i (0 <= i < size()); ids are dense.
+  [[nodiscard]] VmFunction& at(std::size_t i) { return *funcs_[i]; }
+
   [[nodiscard]] seg::DescriptorTable& gdt() { return gdt_; }
 
  private:

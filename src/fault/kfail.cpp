@@ -25,7 +25,8 @@ constexpr SiteDesc kSiteDesc[kNumSites] = {
     {"copy_in", Errno::kEFAULT},      {"copy_out", Errno::kEFAULT},
     {"net.accept", Errno::kECONNRESET},
     {"net.recv", Errno::kECONNRESET}, {"net.send", Errno::kECONNRESET},
-    {"cosy", Errno::kEINTR},
+    {"cosy", Errno::kEINTR},          {"cosy_fuel", Errno::kEDQUOT},
+    {"sup.probe", Errno::kEIO},       {"sup.fallback", Errno::kEIO},
 };
 
 /// SplitMix64: the per-check decision hash. Statistically uniform, cheap,
@@ -57,6 +58,7 @@ Errno errno_from_name(std::string_view n) {
       {"EFAULT", Errno::kEFAULT}, {"EBUSY", Errno::kEBUSY},
       {"ENOSPC", Errno::kENOSPC}, {"EPIPE", Errno::kEPIPE},
       {"ECONNRESET", Errno::kECONNRESET},
+      {"EDQUOT", Errno::kEDQUOT}, {"ETIME", Errno::kETIME},
   };
   for (const Pair& p : kMap) {
     if (n == p.name) return p.e;

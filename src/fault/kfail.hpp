@@ -64,6 +64,9 @@ enum class Site : std::uint8_t {
   kNetRecv,       ///< net recv path             -> ECONNRESET
   kNetSend,       ///< net send path             -> ECONNRESET (or EAGAIN)
   kCosyOp,        ///< cosy executor, between ops -> compound abort (EINTR)
+  kCosyFuel,      ///< cosy executor, compound entry -> VM fuel exhausted (EDQUOT)
+  kSupProbe,      ///< supervisor re-admission probe -> probe failure
+  kSupFallback,   ///< supervisor classic-fallback path -> fallback error
   kMaxSite
 };
 

@@ -223,7 +223,9 @@ Result<std::size_t> MemFs::read_locked(InodeNum ino, std::uint64_t offset,
   std::size_t len = std::min<std::size_t>(out.size(), n->data.size() - offset);
   charge(costs_.data_per_kib * (len + 1023) / 1024 + 8);
   USK_TRY(touch_blocks(ino, offset, len, /*write=*/false));
-  std::memcpy(out.data(), n->data.data() + offset, len);
+  // len == 0 can pair with a null out.data() (zero-length read buffer):
+  // memcpy requires non-null pointers even for zero sizes.
+  if (len != 0) std::memcpy(out.data(), n->data.data() + offset, len);
   // atomic_ref: concurrent shared-lock readers may race on atime.
   std::atomic_ref<std::uint64_t>(n->atime).store(now(),
                                                  std::memory_order_relaxed);
@@ -243,7 +245,7 @@ Result<std::size_t> MemFs::write(InodeNum ino, std::uint64_t offset,
   charge(costs_.data_per_kib * (in.size() + 1023) / 1024 + 10);
   USK_TRY(touch_blocks(ino, offset, in.size(), /*write=*/true));
   if (end > n->data.size()) n->data.resize(end);
-  std::memcpy(n->data.data() + offset, in.data(), in.size());
+  if (!in.empty()) std::memcpy(n->data.data() + offset, in.data(), in.size());
   n->mtime = now();
   stats_.bytes_written += in.size();
   return in.size();

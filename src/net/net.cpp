@@ -393,11 +393,12 @@ SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
   uk::Kernel::Scope scope(k_, p, uk::Sys::kSend);
   USK_TRACE_LATENCY("net", "send");
   USK_TRACEPOINT("net", "send", static_cast<std::uint64_t>(fd), n);
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
-  // Validate the descriptor before the copy-in is charged (the uniform
-  // EBADF discipline: no boundary work on a bad fd).
+  // Validate the descriptor before even looking at the user pointer (the
+  // uniform EBADF discipline: send(-1, NULL, n) is EBADF, not EFAULT,
+  // and no boundary work is charged on a bad fd).
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
   if (!rs) return scope.fail(rs.error());
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
   n = std::min(n, uk::Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
   if (Result<std::size_t> c =
@@ -414,9 +415,11 @@ SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kRecv);
   USK_TRACE_LATENCY("net", "recv");
   USK_TRACEPOINT("net", "recv", static_cast<std::uint64_t>(fd), n);
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  // fd first, user pointer second: recv(-1, NULL, n) is EBADF, not
+  // EFAULT (same discipline as sys_send).
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
   if (!rs) return scope.fail(rs.error());
+  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
   n = std::min(n, uk::Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
   Result<std::size_t> r = recv_into(*rs.value(), std::span(kbuf.data(), n));

@@ -88,9 +88,11 @@ class Scheduler {
       USK_TRACEPOINT("sched", "watchdog_kill", t.pid());
       t.set_state(TaskState::kKilled);
       // Rate-limited: a runaway workload can trip the watchdog thousands
-      // of times a second, and each kill is identical for diagnosis.
-      USK_KLOG_RATELIMIT(
-          base::LogLevel::kCrit, 32u,
+      // of times a second, and each kill is identical for diagnosis. The
+      // named site keeps the budget private to the watchdog: noisy
+      // neighbours (e.g. supervisor quarantine spam) cannot starve it.
+      USK_KLOG_RATELIMIT_NAMED(
+          "sched.watchdog", base::LogLevel::kCrit, 32u,
           "watchdog: task %u (%s) exceeded kernel budget "
           "(%llu > %llu units); killed",
           t.pid(), t.name().c_str(),

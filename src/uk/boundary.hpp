@@ -85,7 +85,9 @@ class Boundary {
     }
     s.bytes_from_user += n;
     task.bytes_from_user += n;
-    std::memcpy(kdst, usrc, n);
+    // n == 0 may come with null buffers (e.g. zero-length recv): memcpy
+    // requires non-null pointers even then.
+    if (n != 0) std::memcpy(kdst, usrc, n);
     return n;
   }
 
@@ -102,7 +104,7 @@ class Boundary {
     }
     s.bytes_to_user += n;
     task.bytes_to_user += n;
-    std::memcpy(udst, ksrc, n);
+    if (n != 0) std::memcpy(udst, ksrc, n);
     return n;
   }
 

@@ -20,6 +20,27 @@ Kernel::Kernel(fs::FileSystem& rootfs, KernelConfig cfg)
 
 Kernel::~Kernel() = default;
 
+// --- supervisor gateway -------------------------------------------------------
+
+namespace {
+std::atomic<SupGatewayFn> g_sup_fn{nullptr};
+std::atomic<void*> g_sup_ctx{nullptr};
+}  // namespace
+
+void set_sup_gateway(SupGatewayFn fn, void* ctx) {
+  if (fn == nullptr) {
+    // Disarm first so in-flight Scopes stop consulting the pointer pair
+    // before it is cleared.
+    supdetail::g_armed.store(false, std::memory_order_release);
+    g_sup_fn.store(nullptr, std::memory_order_release);
+    g_sup_ctx.store(nullptr, std::memory_order_release);
+    return;
+  }
+  g_sup_ctx.store(ctx, std::memory_order_release);
+  g_sup_fn.store(fn, std::memory_order_release);
+  supdetail::g_armed.store(true, std::memory_order_release);
+}
+
 fs::ProcFs& Kernel::mount_procfs() {
   std::lock_guard lk(spawn_mu_);
   if (!procfs_) {
@@ -47,6 +68,7 @@ Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
   // tasks dispatch concurrently on sibling CPUs.
   in0_ = p_.task.bytes_from_user;
   out0_ = p_.task.bytes_to_user;
+  kunits0_ = p_.task.times().kernel;
   trace::set_current_pid(p_.task.pid());
   USK_TRACEPOINT("syscall", "enter", static_cast<std::uint64_t>(nr));
   k_.boundary_.enter_kernel(p_.task);
@@ -73,6 +95,13 @@ Kernel::Scope::~Scope() {
   r.bytes_in = static_cast<std::uint32_t>(p_.task.bytes_from_user - in0_);
   r.bytes_out = static_cast<std::uint32_t>(p_.task.bytes_to_user - out0_);
   k_.audit_.record(r);
+  // Supervisor gateway: one relaxed load when no supervisor is registered.
+  if (sup_gateway_armed()) {
+    if (SupGatewayFn fn = g_sup_fn.load(std::memory_order_acquire)) {
+      fn(g_sup_ctx.load(std::memory_order_acquire), p_, nr_, ret_,
+         p_.task.times().kernel - kunits0_);
+    }
+  }
 }
 
 // --- helpers ----------------------------------------------------------------

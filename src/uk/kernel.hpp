@@ -9,6 +9,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -70,6 +71,29 @@ struct DirentPlusHdr {
   fs::StatBuf st;
   std::uint8_t namelen;
 };
+
+// --- supervisor gateway hook --------------------------------------------------
+// The extension supervisor (src/sup) watches every syscall from the Scope
+// epilogue: the per-call kernel work units feed the rolling-window quotas
+// of whatever extension invocation is bound to the calling thread. The
+// layering runs uk <- sup, so sup registers a raw function here instead of
+// the kernel naming it. Disarmed (no supervisor registered), the check is
+// ONE relaxed load -- the same discipline as USK_TRACEPOINT and
+// USK_FAIL_POINT, so an unsupervised kernel measures identically.
+using SupGatewayFn = void (*)(void* ctx, Process& p, Sys nr, SysRet ret,
+                              std::uint64_t kernel_units);
+
+namespace supdetail {
+inline std::atomic<bool> g_armed{false};
+}  // namespace supdetail
+
+/// Register (fn != nullptr) or clear (fn == nullptr) the gateway hook.
+/// One registration at a time; the registrant must outlive its arming.
+void set_sup_gateway(SupGatewayFn fn, void* ctx);
+
+[[nodiscard]] inline bool sup_gateway_armed() {
+  return supdetail::g_armed.load(std::memory_order_relaxed);
+}
 
 class Kernel {
  public:
@@ -134,6 +158,7 @@ class Kernel {
     Sys nr_;
     SysRet ret_ = 0;
     std::uint64_t in0_, out0_;
+    std::uint64_t kunits0_;  ///< kernel units at entry (supervisor delta)
     std::chrono::steady_clock::time_point wall0_;
   };
 

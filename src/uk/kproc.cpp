@@ -117,6 +117,15 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
     return out;
   });
 
+  pfs.add_file("/kernel/ratelimits", [] {
+    std::string out;
+    appendf(out, "# site suppressed\n");
+    for (const auto& s : base::klog_ratelimits().report()) {
+      appendf(out, "%s %" PRIu64 "\n", s.name.c_str(), s.suppressed);
+    }
+    return out;
+  });
+
   pfs.add_file("/mm/kmalloc", [&k] {
     const mm::AllocatorStats& s = k.kmalloc().stats();
     std::string out;

@@ -9,6 +9,8 @@
 
 #include "consolidation/servercalls.hpp"
 #include "cosy/exec.hpp"
+#include "sup/fallback.hpp"
+#include "sup/supervisor.hpp"
 
 namespace usk::workload {
 
@@ -66,9 +68,9 @@ void serve_plain(uk::Proc& srv, net::Net& net, int connfd,
 /// the already-received first request, then (recv request, open, read,
 /// close, send response) for each remaining request -- all in a single
 /// boundary crossing, all payload through the shared buffer.
-void serve_cosy(uk::Proc& srv, cosy::CosyExtension& ext,
-                const WebServerConfig& cfg, int connfd,
-                const std::string& path) {
+cosy::CosyResult serve_cosy(uk::Proc& srv, cosy::CosyExtension& ext,
+                            const WebServerConfig& cfg, int connfd,
+                            const std::string& path) {
   cosy::CompoundBuilder b;
   cosy::Arg pa = b.str(path);
   const auto fb = static_cast<std::int64_t>(cfg.file_bytes);
@@ -85,7 +87,26 @@ void serve_cosy(uk::Proc& srv, cosy::CosyExtension& ext,
   }
   cosy::Compound c = b.finish();
   cosy::SharedBuffer shared(kRequestBytes + cfg.file_bytes);
-  ext.execute(srv.process(), c, shared);
+  return ext.execute(srv.process(), c, shared);
+}
+
+/// Classic user-space serving of a whole keep-alive connection: the
+/// degraded form of serve_cosy (same observable effects, one syscall per
+/// step). `path` is the already-received first request; the rest are
+/// recv'd until the client closes.
+void serve_classic_conn(uk::Proc& srv, net::Net& net,
+                        const WebServerConfig& cfg, int connfd,
+                        const std::string& path) {
+  (void)cfg;
+  uk::Process& p = srv.process();
+  serve_plain(srv, net, connfd, path);
+  char req[kRequestBytes];
+  for (;;) {
+    std::memset(req, 0, sizeof req);
+    SysRet r = net.sys_recv(p, connfd, req, kRequestBytes);
+    if (r <= 0) break;  // client closed after its last response
+    serve_plain(srv, net, connfd, parse_path(req));
+  }
 }
 
 struct ServerSample {
@@ -102,6 +123,22 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
   uk::Process& p = srv.process();
   cosy::CosyExtension ext(k);
   const auto port = static_cast<std::uint16_t>(cfg.base_port + w);
+
+  // Supervised serving: this worker's in-kernel path is one registered
+  // extension; quarantine degrades it to the classic per-request loop.
+  sup::Supervisor* sup = cfg.supervisor;
+  sup::ExtId ext_id = -1;
+  if (sup != nullptr && cfg.mode == ServeMode::kCosy) {
+    ext_id = sup->register_extension("websrv" + std::to_string(w) + ".cosy",
+                                     sup::Vehicle::kCosy);
+    ext.supervise(sup, ext_id);
+  } else if (sup != nullptr && cfg.mode == ServeMode::kConsolidated) {
+    ext_id = sup->register_extension(
+        "websrv" + std::to_string(w) + ".consolidated",
+        sup::Vehicle::kConsolidated);
+  } else {
+    sup = nullptr;  // kPlain: nothing runs in the kernel
+  }
 
   int lfd = static_cast<int>(net.sys_socket(p));
   net.sys_bind(p, lfd, port);
@@ -132,13 +169,24 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
           case ServeMode::kConsolidated: {
             int connfd = -1;
             std::memset(req, 0, sizeof req);
-            SysRet r = consolidation::sys_accept_recv(
-                net, k, p, lfd, req, kRequestBytes, &connfd);
+            SysRet r =
+                sup != nullptr
+                    ? sup::supervised_accept_recv(*sup, ext_id, net, k, p,
+                                                  lfd, req, kRequestBytes,
+                                                  &connfd)
+                    : consolidation::sys_accept_recv(net, k, p, lfd, req,
+                                                     kRequestBytes, &connfd);
             if (connfd < 0) break;
             if (r > 0) {
-              consolidation::sys_sendfile(net, k, p, connfd,
-                                          parse_path(req).c_str(), 0,
-                                          cfg.file_bytes);
+              if (sup != nullptr) {
+                sup::supervised_sendfile(*sup, ext_id, net, k, p, connfd,
+                                         parse_path(req).c_str(), 0,
+                                         cfg.file_bytes);
+              } else {
+                consolidation::sys_sendfile(net, k, p, connfd,
+                                            parse_path(req).c_str(), 0,
+                                            cfg.file_bytes);
+              }
             }
             net.sys_epoll_ctl(p, ep, net::kEpollCtlAdd, connfd,
                               net::kEpollIn);
@@ -149,7 +197,38 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
             if (connfd < 0) break;
             std::memset(req, 0, sizeof req);
             if (net.sys_recv(p, connfd, req, kRequestBytes) > 0) {
-              serve_cosy(srv, ext, cfg, connfd, parse_path(req));
+              const std::string path = parse_path(req);
+              if (sup == nullptr) {
+                serve_cosy(srv, ext, cfg, connfd, path);
+              } else {
+                const sup::Route route = sup->route(ext_id);
+                if (route == sup::Route::kFallback) {
+                  // Quarantined: the whole connection is served by the
+                  // classic user-space loop, accounted as a fallback run.
+                  SysRet fres = 0;
+                  sup::InvocationGuard g(*sup, ext_id, &srv.task(), route,
+                                         &fres);
+                  serve_classic_conn(srv, net, cfg, connfd, path);
+                } else {
+                  if (route == sup::Route::kProbe) ext.re_isolate_all();
+                  SysRet cret = 0;
+                  std::size_t ops_run = 0;
+                  {
+                    sup::InvocationGuard g(*sup, ext_id, &srv.task(), route,
+                                           &cret);
+                    cosy::CosyResult r2 =
+                        serve_cosy(srv, ext, cfg, connfd, path);
+                    cret = r2.ret;
+                    ops_run = r2.ops_run;
+                  }
+                  if (cret != 0 && ops_run == 0) {
+                    // Aborted before op 0 (fuel voided at entry, rejected
+                    // compound): no side effects yet, so the classic loop
+                    // can serve the connection in full.
+                    serve_classic_conn(srv, net, cfg, connfd, path);
+                  }
+                }
+              }
             }
             srv.close(connfd);
             ++conns_done;
@@ -165,9 +244,15 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
           srv.close(connfd);
           ++conns_done;
         } else if (cfg.mode == ServeMode::kConsolidated) {
-          consolidation::sys_sendfile(net, k, p, connfd,
-                                      parse_path(req).c_str(), 0,
-                                      cfg.file_bytes);
+          if (sup != nullptr) {
+            sup::supervised_sendfile(*sup, ext_id, net, k, p, connfd,
+                                     parse_path(req).c_str(), 0,
+                                     cfg.file_bytes);
+          } else {
+            consolidation::sys_sendfile(net, k, p, connfd,
+                                        parse_path(req).c_str(), 0,
+                                        cfg.file_bytes);
+          }
         } else {
           serve_plain(srv, net, connfd, parse_path(req));
         }

@@ -22,6 +22,10 @@
 #include "net/net.hpp"
 #include "uk/userlib.hpp"
 
+namespace usk::sup {
+class Supervisor;
+}
+
 namespace usk::workload {
 
 enum class ServeMode {
@@ -40,6 +44,13 @@ struct WebServerConfig {
   std::size_t files = 4;             ///< /www/f0../www/f{files-1}
   std::uint16_t base_port = 8000;    ///< worker w listens on base_port + w
   ServeMode mode = ServeMode::kPlain;
+  /// Optional extension supervisor. When set, each worker registers its
+  /// serving path ("websrvN.cosy" / "websrvN.consolidated") and every
+  /// in-kernel invocation runs under the breaker: a quarantined worker
+  /// degrades to classic per-request serving (the kPlain loop) and is
+  /// re-admitted by backoff probes -- requests keep completing
+  /// throughout. Ignored for kPlain (nothing runs in the kernel).
+  sup::Supervisor* supervisor = nullptr;
 };
 
 /// Fixed-size request wire format ("GET /www/fN" null-padded).

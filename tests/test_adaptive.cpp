@@ -6,6 +6,7 @@
 #include "cosy/adaptive.hpp"
 #include "cosy/compiler.hpp"
 #include "cosy/exec.hpp"
+#include "sup/supervisor.hpp"
 #include "uk/userlib.hpp"
 
 namespace usk::cosy {
@@ -161,6 +162,53 @@ TEST_F(AdaptiveTest, ViolationRevokesTrust) {
   EXPECT_EQ(fn->clean_runs, 0u);
   EXPECT_EQ(ext_.stats().trust_demotions, 1u);
   EXPECT_TRUE(base::klog().contains("re-isolated"));
+}
+
+// A trust re-isolation must reach the supervisor's event ledger
+// end-to-end: function promoted, attack caught by the segment, compound
+// aborted, AND the breaker told about the revocation -- operators see the
+// trust story in /proc/sup/events, not only in the klog. Assertions stay
+// policy-independent (the `sup` ctest label re-runs this suite under an
+// aggressive USK_SUP_SPEC).
+TEST_F(AdaptiveTest, SupervisorObservesReisolation) {
+  sup::Supervisor s(kernel_);
+  sup::ExtId id = s.register_extension("trusting", sup::Vehicle::kCosy);
+  ext_.supervise(&s, id);
+  ext_.set_trust_threshold(2);
+
+  VmAssembler a;
+  a.loadi(2, 0);
+  std::size_t good = a.here() + 1;
+  a.jz(1, static_cast<std::int64_t>(good + 1));
+  a.st(1, 2, 5000);  // out of the 64-byte segment
+  a.loadi(0, 7);
+  a.ret();
+  int fid = ext_.install_function(a.take(), 64,
+                                  SafetyMode::kIsolatedSegments, "sleeper2");
+  VmFunction* fn = ext_.functions().get(fid);
+
+  auto call_with = [&](std::int64_t arg) {
+    CompoundBuilder b;
+    b.call_func(fid, {imm(arg)}, 0);
+    Compound c = b.finish();
+    return ext_.execute(proc_.process(), c, shared_);
+  };
+
+  ASSERT_EQ(call_with(0).ret, 0);
+  ASSERT_EQ(call_with(0).ret, 0);
+  ASSERT_EQ(fn->mode(), SafetyMode::kDataSegmentOnly);
+
+  CosyResult r = call_with(1);
+  EXPECT_EQ(sysret_errno(r.ret), Errno::kEFAULT);
+  EXPECT_EQ(fn->mode(), SafetyMode::kIsolatedSegments);
+
+  // The supervisor saw both the violation and the trust revocation.
+  EXPECT_EQ(s.stats(id).reisolations, 1u);
+  EXPECT_EQ(s.event_count(sup::EventKind::kReisolation), 1u);
+  EXPECT_GE(s.stats(id).violations, 1u);
+  EXPECT_NE(s.health(id), sup::Health::kHealthy);
+  // And the guarded invocations were all accounted.
+  EXPECT_GE(s.stats(id).invocations, 3u);
 }
 
 TEST_F(AdaptiveTest, TrustDisabledByDefault) {

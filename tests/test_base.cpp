@@ -142,6 +142,33 @@ TEST(RateLimitTest, WindowRolloverReportsSuppressed) {
   EXPECT_EQ(rl2.suppressed(), 1u);
 }
 
+TEST(RateLimitTest, SitesHaveIndependentBudgets) {
+  // A 1-hour window so nothing rolls over mid-test.
+  constexpr std::uint64_t kHour = 3'600'000'000'000ull;
+  base::RateLimitRegistry reg;
+  base::RateLimit& noisy = reg.site("test.noisy", 1, kHour);
+  base::RateLimit& quiet = reg.site("test.quiet", 1, kHour);
+
+  ASSERT_TRUE(noisy.allow());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(noisy.allow());
+  // One site flooding must never consume another site's budget or
+  // pollute its suppression count.
+  EXPECT_TRUE(quiet.allow());
+  EXPECT_EQ(quiet.suppressed(), 0u);
+  EXPECT_EQ(noisy.suppressed(), 100u);
+
+  // Same name -> same limiter; the first configuration wins.
+  EXPECT_EQ(&reg.site("test.noisy", 99, 1ull), &noisy);
+
+  // report() exposes per-site totals, sorted by name.
+  auto rep = reg.report();
+  ASSERT_EQ(rep.size(), 2u);
+  EXPECT_EQ(rep[0].name, "test.noisy");
+  EXPECT_EQ(rep[0].suppressed, 100u);
+  EXPECT_EQ(rep[1].name, "test.quiet");
+  EXPECT_EQ(rep[1].suppressed, 0u);
+}
+
 TEST(RateLimitTest, RateLimitedKlogMacroSuppressesDuplicates) {
   base::klog().clear();
   base::klog().set_min_level(base::LogLevel::kDebug);

@@ -173,6 +173,25 @@ TEST_F(NetTest, NotSockAndBadFdAreUniform) {
   proc_.close(file);
 }
 
+TEST_F(NetTest, BadFdCheckedBeforeUserBuffer) {
+  uk::Process& p = proc_.process();
+  // Descriptor validation comes before the user pointer is even looked
+  // at: send(-1, NULL, n) is EBADF, not EFAULT (regression: the null-buf
+  // check used to run first and misreport the errno).
+  EXPECT_EQ(net_.sys_send(p, 999, nullptr, 16), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(net_.sys_recv(p, 999, nullptr, 16), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(net_.sys_send(p, -1, nullptr, 16), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(net_.sys_recv(p, -1, nullptr, 16), sysret_err(Errno::kEBADF));
+
+  // On a valid socket the null buffer is still caught, as EFAULT.
+  Trio t = make_pair_on(7050);
+  EXPECT_EQ(net_.sys_send(p, t.cli, nullptr, 16), sysret_err(Errno::kEFAULT));
+  EXPECT_EQ(net_.sys_recv(p, t.srv, nullptr, 16), sysret_err(Errno::kEFAULT));
+  proc_.close(t.cli);
+  proc_.close(t.srv);
+  proc_.close(t.lfd);
+}
+
 TEST_F(NetTest, DupSharesTheConnection) {
   uk::Process& p = proc_.process();
   Trio t = make_pair_on(7050);

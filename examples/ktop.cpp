@@ -9,10 +9,12 @@
 // trace subsystem is switched on by writing to /proc/trace/enable, again
 // through the ordinary write(2) path.
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "net/net.hpp"
+#include "ring/ring.hpp"
 #include "sup/supervisor.hpp"
 #include "uk/userlib.hpp"
 
@@ -108,6 +110,47 @@ void supervisor_workload(sup::Supervisor& s) {
   }
 }
 
+/// Ring workload: one SQ/CQ ring serving a batch of linked open->read->
+/// close chains in a single ring_enter, so the rings panel has live
+/// geometry and drain counters to show.
+void ring_workload(ring::RingDev& rdev, uk::Proc& p) {
+  uk::Process& proc = p.process();
+  int rfd = static_cast<int>(rdev.sys_ring_setup(proc, 16, 4096));
+  if (rfd < 0) return;
+  auto rg = rdev.user_map(proc, rfd).value();
+  const char* path = "/work/f0";
+  std::byte* arena = rg->user_data(0, 16);
+  std::memcpy(arena, path, std::strlen(path) + 1);
+  for (std::uint64_t c = 0; c < 4; ++c) {
+    ring::Sqe open{};
+    open.user_data = c * 3;
+    open.op = ring::RingOp::kOpen;
+    open.flags = ring::kSqeLink;
+    open.addr = 0;
+    open.len = static_cast<std::uint32_t>(std::strlen(path) + 1);
+    open.aux = fs::kORdOnly;
+    rg->user_prepare(open);
+    ring::Sqe read{};
+    read.user_data = c * 3 + 1;
+    read.op = ring::RingOp::kRead;
+    read.flags = ring::kSqeLink;
+    read.fd = ring::kFdChain;
+    read.addr = 64 + c * 256;
+    read.len = 256;
+    rg->user_prepare(read);
+    ring::Sqe close{};
+    close.user_data = c * 3 + 2;
+    close.op = ring::RingOp::kClose;
+    close.fd = ring::kFdChain;
+    rg->user_prepare(close);
+  }
+  rdev.sys_ring_enter(proc, rfd, ring::RingDev::kDrainAll, 0, 0);
+  ring::Cqe cqes[16];
+  while (rg->user_reap(cqes, 16) > 0) {
+  }
+  // Leave the fd open: the panel shows a LIVE ring, main closes it after.
+}
+
 void render_frame(uk::Proc& p, int frame) {
   std::string self = read_proc_file(p, "/proc/self/stat");
   std::string vfs = read_proc_file(p, "/proc/vfs/stats");
@@ -165,6 +208,8 @@ int main() {
   net.register_proc(kernel.mount_procfs());
   sup::Supervisor supervisor(kernel);
   supervisor.register_proc(kernel.mount_procfs());
+  ring::RingDev rdev(kernel, net);
+  rdev.register_proc(kernel.mount_procfs());
   uk::Proc top(kernel, "ktop");
   top.mkdir("/work");
 
@@ -187,6 +232,14 @@ int main() {
               read_proc_file(top, "/proc/sup/extensions").c_str());
   std::printf("\nbreaker event ledger (/proc/sup/events):\n%s",
               read_proc_file(top, "/proc/sup/events").c_str());
+
+  // Rings panel: per-ring geometry and queue depths plus the aggregate
+  // drain counters, read back through /proc/ring like everything else.
+  ring_workload(rdev, top);
+  std::printf("\nsubmission rings (/proc/ring/rings):\n%s",
+              read_proc_file(top, "/proc/ring/rings").c_str());
+  std::printf("\nring drain counters (/proc/ring/stats):\n%s",
+              read_proc_file(top, "/proc/ring/stats").c_str());
 
   std::printf("\ntracepoint sites (/proc/trace/events):\n%s",
               read_proc_file(top, "/proc/trace/events").c_str());

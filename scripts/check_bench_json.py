@@ -23,6 +23,20 @@ even though every surviving line still validates:
     scripts/check_bench_json.py --expect bench_fault_storm \
         --expect bench_supervisor /tmp/bench.jsonl
 
+Repeatable --expect-max / --expect-min flags turn a recorded value into
+an acceptance threshold. The spec is <bench>:<config>:<bound> and is
+checked against every matching record's ops_per_sec (benches export
+dimensionless acceptance metrics -- crossings/req, improvement ratios --
+under dedicated config names for exactly this):
+
+    scripts/check_bench_json.py \
+        --expect-max 'bench_ring:crossings-ring-b8:0.5' \
+        --expect-min 'bench_ring:crossing-ratio-plain-over-ring:4.0' \
+        /tmp/bench.jsonl
+
+A threshold spec whose (bench, config) matches no record is itself a
+failure: a silently missing metric must not pass the gate.
+
 Exit status: 0 if the whole file validates, 1 otherwise (each bad line is
 reported). Stdlib only.
 """
@@ -66,8 +80,23 @@ def check_record(obj, lineno, errors):
                 errors.append(f"line {lineno}: {key} must be >= 0")
 
 
+def parse_threshold(spec):
+    """Split '<bench>:<config>:<bound>' (config may contain ':'... no --
+    bench and config are known not to, so split from both ends)."""
+    head, sep, bound = spec.rpartition(":")
+    bench, sep2, config = head.partition(":")
+    if not sep or not sep2 or not bench or not config:
+        return None
+    try:
+        return bench, config, float(bound)
+    except ValueError:
+        return None
+
+
 def main(argv):
     expected = []
+    expect_max = []  # (bench, config, bound)
+    expect_min = []
     args = []
     it = iter(argv[1:])
     for arg in it:
@@ -77,17 +106,30 @@ def main(argv):
                 print("error: --expect needs a bench name", file=sys.stderr)
                 return 2
             expected.append(name)
+        elif arg in ("--expect-max", "--expect-min"):
+            spec = next(it, None)
+            parsed = parse_threshold(spec) if spec is not None else None
+            if parsed is None:
+                print(
+                    f"error: {arg} needs <bench>:<config>:<number>",
+                    file=sys.stderr,
+                )
+                return 2
+            (expect_max if arg == "--expect-max" else expect_min).append(parsed)
         else:
             args.append(arg)
     if len(args) != 1:
         print(
-            f"usage: {argv[0]} [--expect <bench>]... <bench.jsonl>",
+            f"usage: {argv[0]} [--expect <bench>]... "
+            "[--expect-max <bench>:<config>:<bound>]... "
+            "[--expect-min <bench>:<config>:<bound>]... <bench.jsonl>",
             file=sys.stderr,
         )
         return 2
     errors = []
     records = 0
     benches = set()
+    values = {}  # (bench, config) -> [ops_per_sec, ...]
     try:
         with open(args[0], encoding="utf-8") as f:
             for lineno, line in enumerate(f, start=1):
@@ -103,6 +145,12 @@ def main(argv):
                 check_record(obj, lineno, errors)
                 if isinstance(obj, dict) and isinstance(obj.get("bench"), str):
                     benches.add(obj["bench"])
+                    ops = obj.get("ops_per_sec")
+                    if isinstance(obj.get("config"), str) and isinstance(
+                        ops, (int, float)
+                    ) and not isinstance(ops, bool):
+                        key = (obj["bench"], obj["config"])
+                        values.setdefault(key, []).append(float(ops))
     except OSError as e:
         print(f"error: {e}", file=sys.stderr)
         return 1
@@ -110,6 +158,23 @@ def main(argv):
     for name in expected:
         if name not in benches:
             errors.append(f"expected bench '{name}' has no records")
+    for checks, op, word in (
+        (expect_max, lambda v, b: v <= b, "<="),
+        (expect_min, lambda v, b: v >= b, ">="),
+    ):
+        for bench, config, bound in checks:
+            got = values.get((bench, config))
+            if not got:
+                errors.append(
+                    f"threshold {bench}:{config}: no matching records"
+                )
+                continue
+            for v in got:
+                if not op(v, bound):
+                    errors.append(
+                        f"threshold {bench}:{config}: value {v:g} not "
+                        f"{word} {bound:g}"
+                    )
     for err in errors:
         print(err, file=sys.stderr)
     if errors:

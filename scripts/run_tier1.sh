@@ -9,17 +9,22 @@
 #           (label `sup`: aggressive breaker policy + transient faults on
 #           the supervised paths, forcing probation/quarantine/re-admission
 #           cycles under every test's assertions)
+#   ring    the ring suites re-run with the aggressive breaker AND seeded
+#           transient injection at the ring fault sites (label `ring`),
+#           then bench_ring --quick with its JSON gated by the crossing
+#           thresholds (<= 0.5 crossings/req at batch 8, >= 4x vs plain)
 #   asan    the fault soak again under AddressSanitizer, proving the
 #           injected error paths free everything they unwind past
 #   ubsan   the fault + sup soaks under UndefinedBehaviorSanitizer
 #           (halt_on_error: any UB report is a red run)
 #
-# Usage: scripts/run_tier1.sh [plain|faults|sup|asan|ubsan|tsan|all]
+# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|asan|ubsan|tsan|all]
 #                                                          (default: all)
 #
-# Build trees: build/ (plain + faults + sup), build-asan/, build-ubsan/,
-# build-tsan/. TSan is optional (heavyweight); `all` runs
-# plain+faults+sup+asan+ubsan, matching the checked-in acceptance gates.
+# Build trees: build/ (plain + faults + sup + ring), build-asan/,
+# build-ubsan/, build-tsan/. TSan is optional (heavyweight); `all` runs
+# plain+faults+sup+ring+asan+ubsan, matching the checked-in acceptance
+# gates.
 # Fails fast: the first red suite stops the script with a nonzero exit.
 set -euo pipefail
 
@@ -36,6 +41,15 @@ build() {  # build <dir> [extra cmake args...]
 run_plain()  { build build; (cd build && ctest -L tier1 -LE faults -j "$jobs" --output-on-failure); }
 run_faults() { build build; (cd build && ctest -L faults -j "$jobs" --output-on-failure); }
 run_sup()    { build build; (cd build && ctest -L sup -j "$jobs" --output-on-failure); }
+run_ring()   { build build; (cd build && ctest -L ring -j "$jobs" --output-on-failure);
+               local json; json="$(mktemp)"
+               USK_BENCH_JSON="$json" ./build/bench/bench_ring --quick
+               python3 scripts/check_bench_json.py \
+                 --expect bench_ring \
+                 --expect-max 'bench_ring:crossings-ring-b8:0.5' \
+                 --expect-min 'bench_ring:crossing-ratio-plain-over-ring:4.0' \
+                 "$json"
+               rm -f "$json"; }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
 run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
@@ -49,10 +63,11 @@ case "$mode" in
   plain)  run_plain ;;
   faults) run_faults ;;
   sup)    run_sup ;;
+  ring)   run_ring ;;
   asan)   run_asan ;;
   ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_sup; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [plain|faults|sup|asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_ring; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|ring|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

@@ -38,6 +38,7 @@ std::string_view errno_name(Errno e) {
     case Errno::kENOTCONN: return "ENOTCONN";
     case Errno::kECONNREFUSED: return "ECONNREFUSED";
     case Errno::kEDQUOT: return "EDQUOT";
+    case Errno::kECANCELED: return "ECANCELED";
     case Errno::kEKILLED: return "EKILLED";
   }
   return "E???";

@@ -50,6 +50,7 @@ enum class Errno : std::int32_t {
   kENOTCONN = 107,     ///< Socket is not connected
   kECONNREFUSED = 111, ///< No listener on the target port
   kEDQUOT = 122,       ///< Resource quota exceeded (supervisor caps)
+  kECANCELED = 125,    ///< Operation canceled (ring chain cancel-on-error)
   kEKILLED = 132, ///< Task killed by the safety watchdog
 };
 

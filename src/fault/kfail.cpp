@@ -27,6 +27,7 @@ constexpr SiteDesc kSiteDesc[kNumSites] = {
     {"net.recv", Errno::kECONNRESET}, {"net.send", Errno::kECONNRESET},
     {"cosy", Errno::kEINTR},          {"cosy_fuel", Errno::kEDQUOT},
     {"sup.probe", Errno::kEIO},       {"sup.fallback", Errno::kEIO},
+    {"ring.sqe_corrupt", Errno::kEFAULT}, {"ring.cqe_drop", Errno::kEIO},
 };
 
 /// SplitMix64: the per-check decision hash. Statistically uniform, cheap,

@@ -67,6 +67,8 @@ enum class Site : std::uint8_t {
   kCosyFuel,      ///< cosy executor, compound entry -> VM fuel exhausted (EDQUOT)
   kSupProbe,      ///< supervisor re-admission probe -> probe failure
   kSupFallback,   ///< supervisor classic-fallback path -> fallback error
+  kRingSqeCorrupt, ///< ring SQE read from shared memory is corrupt -> EFAULT
+  kRingCqeDrop,    ///< ring completion lost before posting -> EIO
   kMaxSite
 };
 

@@ -282,15 +282,19 @@ Result<int> Net::accept_pop(uk::Process& p, Socket& ls) {
   return fd;
 }
 
+SysRet Net::do_accept(uk::Process& p, int fd) {
+  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
+  if (!rs) return sysret_err(rs.error());
+  Result<int> r = accept_pop(p, *rs.value());
+  if (!r) return sysret_err(r.error());
+  return r.value();
+}
+
 SysRet Net::sys_accept(uk::Process& p, int fd) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kAccept);
   USK_TRACE_LATENCY("net", "accept");
   USK_TRACEPOINT("net", "accept", static_cast<std::uint64_t>(fd));
-  Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
-  if (!rs) return scope.fail(rs.error());
-  Result<int> r = accept_pop(p, *rs.value());
-  if (!r) return scope.fail(r.error());
-  return scope.done(r.value());
+  return scope.done(do_accept(p, fd));
 }
 
 // --- send / recv -----------------------------------------------------------
@@ -388,68 +392,76 @@ Result<std::size_t> Net::recv_into(Socket& s, std::span<std::byte> out) {
   }
 }
 
-SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
-                         std::size_t n) {
-  uk::Kernel::Scope scope(k_, p, uk::Sys::kSend);
-  USK_TRACE_LATENCY("net", "send");
-  USK_TRACEPOINT("net", "send", static_cast<std::uint64_t>(fd), n);
+SysRet Net::do_send(uk::Process& p, int fd, const void* ubuf,
+                    std::size_t n) {
   // Validate the descriptor before even looking at the user pointer (the
   // uniform EBADF discipline: send(-1, NULL, n) is EBADF, not EFAULT,
   // and no boundary work is charged on a bad fd).
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
-  if (!rs) return scope.fail(rs.error());
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  if (!rs) return sysret_err(rs.error());
+  if (ubuf == nullptr) return sysret_err(Errno::kEFAULT);
   n = std::min(n, uk::Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
   if (Result<std::size_t> c =
           k_.boundary().copy_from_user(p.task, kbuf.data(), ubuf, n);
       !c) {
-    return scope.fail(c.error());
+    return sysret_err(c.error());
   }
   Result<std::size_t> r = send_from(*rs.value(), std::span(kbuf.data(), n));
-  if (!r) return scope.fail(r.error());
-  return scope.done(static_cast<SysRet>(r.value()));
+  if (!r) return sysret_err(r.error());
+  return static_cast<SysRet>(r.value());
 }
 
-SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
-  uk::Kernel::Scope scope(k_, p, uk::Sys::kRecv);
-  USK_TRACE_LATENCY("net", "recv");
-  USK_TRACEPOINT("net", "recv", static_cast<std::uint64_t>(fd), n);
+SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
+                         std::size_t n) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kSend);
+  USK_TRACE_LATENCY("net", "send");
+  USK_TRACEPOINT("net", "send", static_cast<std::uint64_t>(fd), n);
+  return scope.done(do_send(p, fd, ubuf, n));
+}
+
+SysRet Net::do_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
   // fd first, user pointer second: recv(-1, NULL, n) is EBADF, not
-  // EFAULT (same discipline as sys_send).
+  // EFAULT (same discipline as do_send).
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
-  if (!rs) return scope.fail(rs.error());
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  if (!rs) return sysret_err(rs.error());
+  if (ubuf == nullptr) return sysret_err(Errno::kEFAULT);
   n = std::min(n, uk::Kernel::kMaxIo);
   std::vector<std::byte> kbuf(n);
   Result<std::size_t> r = recv_into(*rs.value(), std::span(kbuf.data(), n));
-  if (!r) return scope.fail(r.error());
+  if (!r) return sysret_err(r.error());
   if (r.value() > 0) {
     // The bytes were already drained from the socket; a faulted copy-out
     // loses them, exactly like a real recv whose user page vanished.
     if (Result<std::size_t> c =
             k_.boundary().copy_to_user(p.task, ubuf, kbuf.data(), r.value());
         !c) {
-      return scope.fail(c.error());
+      return sysret_err(c.error());
     }
   }
-  return scope.done(static_cast<SysRet>(r.value()));
+  return static_cast<SysRet>(r.value());
+}
+
+SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kRecv);
+  USK_TRACE_LATENCY("net", "recv");
+  USK_TRACEPOINT("net", "recv", static_cast<std::uint64_t>(fd), n);
+  return scope.done(do_recv(p, fd, ubuf, n));
 }
 
 // --- shutdown / close ------------------------------------------------------
 
-SysRet Net::sys_shutdown(uk::Process& p, int fd, int how) {
-  uk::Kernel::Scope scope(k_, p, uk::Sys::kShutdown);
+SysRet Net::do_shutdown(uk::Process& p, int fd, int how) {
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
-  if (!rs) return scope.fail(rs.error());
+  if (!rs) return sysret_err(rs.error());
   if (how != kShutRd && how != kShutWr && how != kShutRdWr) {
-    return scope.fail(Errno::kEINVAL);
+    return sysret_err(Errno::kEINVAL);
   }
   Socket& s = *rs.value();
   std::shared_ptr<Socket> peer;
   {
     std::lock_guard slk(s.mu_);
-    if (s.state_ != SockState::kConnected) return scope.fail(Errno::kENOTCONN);
+    if (s.state_ != SockState::kConnected) return sysret_err(Errno::kENOTCONN);
     if (how == kShutRd || how == kShutRdWr) s.rd_shutdown_ = true;
     if (how == kShutWr || how == kShutRdWr) {
       s.tx_shutdown_ = true;
@@ -464,7 +476,12 @@ SysRet Net::sys_shutdown(uk::Process& p, int fd, int how) {
     notify_watchers_locked(*peer);
     peer->cv_.notify_all();
   }
-  return scope.done(0);
+  return 0;
+}
+
+SysRet Net::sys_shutdown(uk::Process& p, int fd, int how) {
+  uk::Kernel::Scope scope(k_, p, uk::Sys::kShutdown);
+  return scope.done(do_shutdown(p, fd, how));
 }
 
 void Net::drop_socket(const std::shared_ptr<Socket>& s) {

@@ -159,6 +159,17 @@ class Net {
   SysRet sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
                             int maxevents, int timeout_ms);
 
+  // --- Scope-free syscall bodies --------------------------------------------
+  // The exact logic of sys_accept/send/recv/shutdown (EBADF before
+  // EFAULT, fallible copies, position/stream semantics) minus the
+  // crossing: the ring submission engine (src/ring) dispatches these so
+  // a drained batch re-uses the audited error paths under its caller's
+  // single Scope. The sys_* wrappers above are Scope + body.
+  SysRet do_accept(uk::Process& p, int fd);
+  SysRet do_send(uk::Process& p, int fd, const void* ubuf, std::size_t n);
+  SysRet do_recv(uk::Process& p, int fd, void* ubuf, std::size_t n);
+  SysRet do_shutdown(uk::Process& p, int fd, int how);
+
   // --- kernel-side primitives (no crossing, no user copies) ----------------
   // The consolidated calls (src/consolidation) and SocketFs build on
   // these; each charges the modelled network work to the current task.

@@ -47,6 +47,7 @@ const char* vehicle_name(Vehicle v) {
     case Vehicle::kCosy: return "cosy";
     case Vehicle::kConsolidated: return "consolidated";
     case Vehicle::kMonitor: return "monitor";
+    case Vehicle::kRing: return "ring";
   }
   return "?";
 }

@@ -53,7 +53,7 @@ using ExtId = int;
 enum class Health { kHealthy, kProbation, kQuarantined };
 const char* health_name(Health h);
 
-enum class Vehicle { kCosy, kConsolidated, kMonitor };
+enum class Vehicle { kCosy, kConsolidated, kMonitor, kRing };
 const char* vehicle_name(Vehicle v);
 
 /// What route() tells the vehicle to do with the next invocation.

@@ -40,6 +40,8 @@ const char* sys_name(Sys nr) {
     case Sys::kEpollCreate: return "epoll_create";
     case Sys::kEpollCtl: return "epoll_ctl";
     case Sys::kEpollWait: return "epoll_wait";
+    case Sys::kRingSetup: return "ring_setup";
+    case Sys::kRingEnter: return "ring_enter";
     case Sys::kMaxSys: break;
   }
   return "sys?";

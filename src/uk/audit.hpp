@@ -60,6 +60,9 @@ enum class Sys : std::uint16_t {
   kEpollCreate = 58,
   kEpollCtl = 59,
   kEpollWait = 60,
+  // Ring syscalls (src/ring): batched submission, the third vehicle.
+  kRingSetup = 61,
+  kRingEnter = 62,
   kMaxSys = 64,
 };
 

@@ -156,11 +156,42 @@ const Kernel::HandlerTable& Kernel::handlers() {
 SysRet Kernel::syscall(Process& p, Sys nr, const SysArgs& a) {
   const std::size_t idx = static_cast<std::size_t>(nr);
   const SysHandler h = idx < handlers().size() ? handlers()[idx] : nullptr;
-  // The Scope is constructed HERE and only here for table-dispatched
-  // calls: one crossing, one audit record, one ktrace sample per entry.
+  if (h != nullptr) {
+    // The Scope is constructed HERE for every table-dispatched call: one
+    // crossing, one audit record, one ktrace sample per entry.
+    Scope scope(*this, p, nr);
+    return scope.done((this->*h)(p, a));
+  }
+  if (idx < external_.size()) {
+    if (ExternalSysFn fn = external_[idx].fn.load(std::memory_order_acquire)) {
+      // Runtime-registered slot: the handler owns its Scope discipline.
+      return fn(external_[idx].ctx.load(std::memory_order_acquire), *this, p,
+                a);
+    }
+  }
   Scope scope(*this, p, nr);
-  if (h == nullptr) return scope.fail(Errno::kENOSYS);
-  return (this->*h)(scope, a);
+  return scope.fail(Errno::kENOSYS);
+}
+
+void Kernel::register_syscall(Sys nr, ExternalSysFn fn, void* ctx) {
+  const std::size_t idx = static_cast<std::size_t>(nr);
+  if (idx >= external_.size() || handlers()[idx] != nullptr) return;
+  if (fn == nullptr) {
+    // Disarm the function first so a racing dispatch never pairs the old
+    // fn with a cleared ctx.
+    external_[idx].fn.store(nullptr, std::memory_order_release);
+    external_[idx].ctx.store(nullptr, std::memory_order_release);
+    return;
+  }
+  external_[idx].ctx.store(ctx, std::memory_order_release);
+  external_[idx].fn.store(fn, std::memory_order_release);
+}
+
+SysRet Kernel::dispatch_nested(Process& p, Sys nr, const SysArgs& a) {
+  const std::size_t idx = static_cast<std::size_t>(nr);
+  const SysHandler h = idx < handlers().size() ? handlers()[idx] : nullptr;
+  if (h == nullptr) return sysret_err(Errno::kENOSYS);
+  return (this->*h)(p, a);
 }
 
 // --- typed wrappers (the userlib-facing ABI) ----------------------------------
@@ -233,31 +264,29 @@ SysRet Kernel::sys_chmod(Process& p, const char* upath, std::uint32_t mode) {
 // kernel buffer allocation, and user copies are fallible -- a faulted
 // copy-out rewinds file position so no data is silently consumed.
 
-SysRet Kernel::do_open(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_open(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<int> r = vfs_.open(
       p.fds, std::string_view(kpath, static_cast<std::size_t>(len)),
       static_cast<int>(a.a1), static_cast<std::uint32_t>(a.a2));
-  if (!r) return scope.fail(r.error());
-  return scope.done(r.value());
+  if (!r) return sysret_err(r.error());
+  return r.value();
 }
 
-SysRet Kernel::do_close(Scope& scope, const SysArgs& a) {
-  Result<void> r = vfs_.close(scope.process().fds, static_cast<int>(a.a0));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+SysRet Kernel::do_close(Process& p, const SysArgs& a) {
+  Result<void> r = vfs_.close(p.fds, static_cast<int>(a.a0));
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_dup(Scope& scope, const SysArgs& a) {
-  Result<int> r = vfs_.dup(scope.process().fds, static_cast<int>(a.a0));
-  if (!r) return scope.fail(r.error());
-  return scope.done(r.value());
+SysRet Kernel::do_dup(Process& p, const SysArgs& a) {
+  Result<int> r = vfs_.dup(p.fds, static_cast<int>(a.a0));
+  if (!r) return sysret_err(r.error());
+  return r.value();
 }
 
-SysRet Kernel::do_read(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_read(Process& p, const SysArgs& a) {
   const int fd = static_cast<int>(a.a0);
   void* ubuf = uptr<void>(a.a1);
   std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
@@ -265,12 +294,12 @@ SysRet Kernel::do_read(Scope& scope, const SysArgs& a) {
   // descriptor must not cost a kernel allocation or touch user memory.
   fs::OpenFile* f = p.fds.get(fd);
   if (f == nullptr || (f->flags & fs::kAccessMode) == fs::kOWrOnly) {
-    return scope.fail(Errno::kEBADF);
+    return sysret_err(Errno::kEBADF);
   }
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  if (ubuf == nullptr) return sysret_err(Errno::kEFAULT);
   std::vector<std::byte> kbuf(n);
   Result<std::size_t> r = vfs_.read(p.fds, fd, std::span(kbuf.data(), n));
-  if (!r) return scope.fail(r.error());
+  if (!r) return sysret_err(r.error());
   if (r.value() > 0) {
     if (Result<std::size_t> c =
             boundary_.copy_to_user(p.task, ubuf, kbuf.data(), r.value());
@@ -278,14 +307,13 @@ SysRet Kernel::do_read(Scope& scope, const SysArgs& a) {
       // The user never saw the bytes: rewind the position the VFS
       // advanced so the data is not silently consumed.
       f->pos -= r.value();
-      return scope.fail(c.error());
+      return sysret_err(c.error());
     }
   }
-  return scope.done(static_cast<SysRet>(r.value()));
+  return static_cast<SysRet>(r.value());
 }
 
-SysRet Kernel::do_write(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_write(Process& p, const SysArgs& a) {
   const int fd = static_cast<int>(a.a0);
   const void* ubuf = uptr<const void>(a.a1);
   std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
@@ -294,79 +322,76 @@ SysRet Kernel::do_write(Scope& scope, const SysArgs& a) {
   // bytes (parity with do_read, which never copies on EBADF).
   fs::OpenFile* f = p.fds.get(fd);
   if (f == nullptr || (f->flags & fs::kAccessMode) == fs::kORdOnly) {
-    return scope.fail(Errno::kEBADF);
+    return sysret_err(Errno::kEBADF);
   }
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  if (ubuf == nullptr) return sysret_err(Errno::kEFAULT);
   std::vector<std::byte> kbuf(n);
   if (Result<std::size_t> c =
           boundary_.copy_from_user(p.task, kbuf.data(), ubuf, n);
       !c) {
-    return scope.fail(c.error());
+    return sysret_err(c.error());
   }
   Result<std::size_t> r = vfs_.write(p.fds, fd, std::span(kbuf.data(), n));
-  if (!r) return scope.fail(r.error());
-  return scope.done(static_cast<SysRet>(r.value()));
+  if (!r) return sysret_err(r.error());
+  return static_cast<SysRet>(r.value());
 }
 
-SysRet Kernel::do_lseek(Scope& scope, const SysArgs& a) {
+SysRet Kernel::do_lseek(Process& p, const SysArgs& a) {
   Result<std::uint64_t> r =
-      vfs_.lseek(scope.process().fds, static_cast<int>(a.a0),
+      vfs_.lseek(p.fds, static_cast<int>(a.a0),
                  static_cast<std::int64_t>(a.a1), static_cast<int>(a.a2));
-  if (!r) return scope.fail(r.error());
-  return scope.done(static_cast<SysRet>(r.value()));
+  if (!r) return sysret_err(r.error());
+  return static_cast<SysRet>(r.value());
 }
 
-SysRet Kernel::do_stat(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_stat(Process& p, const SysArgs& a) {
   fs::StatBuf* ust = uptr<fs::StatBuf>(a.a1);
-  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+  if (ust == nullptr) return sysret_err(Errno::kEFAULT);
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   fs::StatBuf st;
   Result<void> r = vfs_.stat(
       std::string_view(kpath, static_cast<std::size_t>(len)), &st);
-  if (!r.ok()) return scope.fail(r.error());
+  if (!r.ok()) return sysret_err(r.error());
   if (Result<std::size_t> c =
           boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
       !c) {
-    return scope.fail(c.error());
+    return sysret_err(c.error());
   }
-  return scope.done(0);
+  return 0;
 }
 
-SysRet Kernel::do_fstat(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_fstat(Process& p, const SysArgs& a) {
   fs::StatBuf* ust = uptr<fs::StatBuf>(a.a1);
   // EBADF before EFAULT: descriptor validity is decided first, like
   // Linux's fstat (fdget before copy_to_user can fault).
   fs::StatBuf st;
   Result<void> r = vfs_.fstat(p.fds, static_cast<int>(a.a0), &st);
-  if (!r.ok()) return scope.fail(r.error());
-  if (ust == nullptr) return scope.fail(Errno::kEFAULT);
+  if (!r.ok()) return sysret_err(r.error());
+  if (ust == nullptr) return sysret_err(Errno::kEFAULT);
   if (Result<std::size_t> c =
           boundary_.copy_to_user(p.task, ust, &st, sizeof(st));
       !c) {
-    return scope.fail(c.error());
+    return sysret_err(c.error());
   }
-  return scope.done(0);
+  return 0;
 }
 
-SysRet Kernel::do_readdir(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_readdir(Process& p, const SysArgs& a) {
   const int fd = static_cast<int>(a.a0);
   void* ubuf = uptr<void>(a.a1);
   std::size_t n = std::min(static_cast<std::size_t>(a.a2), kMaxIo);
   // EBADF before EFAULT (see do_read).
   fs::OpenFile* f = p.fds.get(fd);
-  if (f == nullptr) return scope.fail(Errno::kEBADF);
-  if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
+  if (f == nullptr) return sysret_err(Errno::kEBADF);
+  if (ubuf == nullptr) return sysret_err(Errno::kEFAULT);
 
   // Estimate how many entries can fit, fetch a window, pack what fits.
   std::size_t max_entries = std::max<std::size_t>(1, n / sizeof(DirentHdr));
   Result<std::vector<fs::DirEntry>> win =
       vfs_.readdir_window(p.fds, fd, f->pos, max_entries);
-  if (!win) return scope.fail(win.error());
+  if (!win) return sysret_err(win.error());
 
   std::vector<std::byte> kbuf(n);
   std::size_t off = 0;
@@ -387,100 +412,93 @@ SysRet Kernel::do_readdir(Scope& scope, const SysArgs& a) {
             boundary_.copy_to_user(p.task, ubuf, kbuf.data(), off);
         !c) {
       // Position was not advanced yet: the faulted batch is re-readable.
-      return scope.fail(c.error());
+      return sysret_err(c.error());
     }
   }
   f->pos += taken;
-  return scope.done(static_cast<SysRet>(off));
+  return static_cast<SysRet>(off);
 }
 
-SysRet Kernel::do_unlink(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_unlink(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<void> r =
       vfs_.unlink(std::string_view(kpath, static_cast<std::size_t>(len)));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_mkdir(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_mkdir(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<void> r =
       vfs_.mkdir(std::string_view(kpath, static_cast<std::size_t>(len)),
                  static_cast<std::uint32_t>(a.a1));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_rmdir(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_rmdir(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<void> r =
       vfs_.rmdir(std::string_view(kpath, static_cast<std::size_t>(len)));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_rename(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_rename(Process& p, const SysArgs& a) {
   char kfrom[kMaxPath];
   char kto[kMaxPath];
   std::int64_t fl = get_user_path(p, uptr<const char>(a.a0), kfrom);
-  if (fl < 0) return scope.done(fl);
+  if (fl < 0) return fl;
   std::int64_t tl = get_user_path(p, uptr<const char>(a.a1), kto);
-  if (tl < 0) return scope.done(tl);
+  if (tl < 0) return tl;
   Result<void> r =
       vfs_.rename(std::string_view(kfrom, static_cast<std::size_t>(fl)),
                   std::string_view(kto, static_cast<std::size_t>(tl)));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_truncate(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_truncate(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<void> r = vfs_.truncate(
       std::string_view(kpath, static_cast<std::size_t>(len)), a.a1);
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_getpid(Scope& scope, const SysArgs& /*a*/) {
-  return scope.done(static_cast<SysRet>(scope.process().task.pid()));
+SysRet Kernel::do_getpid(Process& p, const SysArgs& /*a*/) {
+  return static_cast<SysRet>(p.task.pid());
 }
 
-SysRet Kernel::do_sync(Scope& scope, const SysArgs& /*a*/) {
+SysRet Kernel::do_sync(Process& /*p*/, const SysArgs& /*a*/) {
   Result<void> r = vfs_.filesystem().sync();
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_link(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_link(Process& p, const SysArgs& a) {
   char kfrom[kMaxPath];
   char kto[kMaxPath];
   std::int64_t fl = get_user_path(p, uptr<const char>(a.a0), kfrom);
-  if (fl < 0) return scope.done(fl);
+  if (fl < 0) return fl;
   std::int64_t tl = get_user_path(p, uptr<const char>(a.a1), kto);
-  if (tl < 0) return scope.done(tl);
+  if (tl < 0) return tl;
   Result<void> r =
       vfs_.link(std::string_view(kfrom, static_cast<std::size_t>(fl)),
                 std::string_view(kto, static_cast<std::size_t>(tl)));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
-SysRet Kernel::do_chmod(Scope& scope, const SysArgs& a) {
-  Process& p = scope.process();
+SysRet Kernel::do_chmod(Process& p, const SysArgs& a) {
   char kpath[kMaxPath];
   std::int64_t len = get_user_path(p, uptr<const char>(a.a0), kpath);
-  if (len < 0) return scope.done(len);
+  if (len < 0) return len;
   Result<void> r =
       vfs_.chmod(std::string_view(kpath, static_cast<std::size_t>(len)),
                  static_cast<std::uint32_t>(a.a1));
-  return r.ok() ? scope.done(0) : scope.fail(r.error());
+  return r.ok() ? 0 : sysret_err(r.error());
 }
 
 }  // namespace usk::uk

@@ -183,6 +183,30 @@ class Kernel {
 
   SysRet syscall(Process& p, Sys nr, const SysArgs& a = SysArgs{});
 
+  // --- external syscall slots ---------------------------------------------------
+  /// Subsystems layered above uk (net-like modules such as src/ring) can
+  /// claim unused syscall numbers at runtime so their calls route through
+  /// the same numbered gateway. An external handler owns its own Scope
+  /// discipline -- exactly like net::Net's syscall family, which
+  /// constructs Kernel::Scope directly -- because some of them (ring's
+  /// quarantine fallback) must decompose into nested full syscalls
+  /// instead of paying one crossing up front.
+  using ExternalSysFn = SysRet (*)(void* ctx, Kernel& k, Process& p,
+                                   const SysArgs& a);
+  /// Claim `nr` (must not collide with a table handler). Passing
+  /// fn == nullptr releases the slot. The registrant must outlive its
+  /// registration window.
+  void register_syscall(Sys nr, ExternalSysFn fn, void* ctx);
+  void unregister_syscall(Sys nr) { register_syscall(nr, nullptr, nullptr); }
+
+  /// Dispatch a table handler WITHOUT constructing a Scope: no boundary
+  /// crossing, no audit record -- the caller's enclosing Scope owns both.
+  /// This is how the ring submission engine executes N queued syscalls
+  /// for the cost of one crossing. Unknown numbers return ENOSYS;
+  /// externally registered numbers are NOT reachable here (an external
+  /// handler expects to manage its own crossing).
+  SysRet dispatch_nested(Process& p, Sys nr, const SysArgs& a = SysArgs{});
+
   // --- classic system calls (typed wrappers over syscall()) --------------------
   SysRet sys_open(Process& p, const char* upath, int flags,
                   std::uint32_t mode);
@@ -215,29 +239,40 @@ class Kernel {
   std::int64_t get_user_path(Process& p, const char* upath, char* kpath);
 
   // --- numbered syscall table ------------------------------------------------
-  using SysHandler = SysRet (Kernel::*)(Scope&, const SysArgs&);
+  // Handlers are Scope-free: they take the process and the packed args
+  // and return a SysRet. syscall() wraps the call in a Scope (crossing +
+  // audit); dispatch_nested() calls them bare so a batched submitter
+  // (src/ring) re-uses the exact same code with zero extra crossings.
+  using SysHandler = SysRet (Kernel::*)(Process&, const SysArgs&);
   using HandlerTable =
       std::array<SysHandler, static_cast<std::size_t>(Sys::kMaxSys)>;
   static const HandlerTable& handlers();
 
-  SysRet do_open(Scope& scope, const SysArgs& a);
-  SysRet do_close(Scope& scope, const SysArgs& a);
-  SysRet do_dup(Scope& scope, const SysArgs& a);
-  SysRet do_read(Scope& scope, const SysArgs& a);
-  SysRet do_write(Scope& scope, const SysArgs& a);
-  SysRet do_lseek(Scope& scope, const SysArgs& a);
-  SysRet do_stat(Scope& scope, const SysArgs& a);
-  SysRet do_fstat(Scope& scope, const SysArgs& a);
-  SysRet do_readdir(Scope& scope, const SysArgs& a);
-  SysRet do_unlink(Scope& scope, const SysArgs& a);
-  SysRet do_mkdir(Scope& scope, const SysArgs& a);
-  SysRet do_rmdir(Scope& scope, const SysArgs& a);
-  SysRet do_rename(Scope& scope, const SysArgs& a);
-  SysRet do_truncate(Scope& scope, const SysArgs& a);
-  SysRet do_getpid(Scope& scope, const SysArgs& a);
-  SysRet do_sync(Scope& scope, const SysArgs& a);
-  SysRet do_link(Scope& scope, const SysArgs& a);
-  SysRet do_chmod(Scope& scope, const SysArgs& a);
+  SysRet do_open(Process& p, const SysArgs& a);
+  SysRet do_close(Process& p, const SysArgs& a);
+  SysRet do_dup(Process& p, const SysArgs& a);
+  SysRet do_read(Process& p, const SysArgs& a);
+  SysRet do_write(Process& p, const SysArgs& a);
+  SysRet do_lseek(Process& p, const SysArgs& a);
+  SysRet do_stat(Process& p, const SysArgs& a);
+  SysRet do_fstat(Process& p, const SysArgs& a);
+  SysRet do_readdir(Process& p, const SysArgs& a);
+  SysRet do_unlink(Process& p, const SysArgs& a);
+  SysRet do_mkdir(Process& p, const SysArgs& a);
+  SysRet do_rmdir(Process& p, const SysArgs& a);
+  SysRet do_rename(Process& p, const SysArgs& a);
+  SysRet do_truncate(Process& p, const SysArgs& a);
+  SysRet do_getpid(Process& p, const SysArgs& a);
+  SysRet do_sync(Process& p, const SysArgs& a);
+  SysRet do_link(Process& p, const SysArgs& a);
+  SysRet do_chmod(Process& p, const SysArgs& a);
+
+  /// One runtime-registered slot; fn/ctx are read on the syscall hot path
+  /// (two acquire loads only when the static table misses).
+  struct ExternalSys {
+    std::atomic<ExternalSysFn> fn{nullptr};
+    std::atomic<void*> ctx{nullptr};
+  };
 
   base::WorkEngine engine_;
   vm::PhysMem phys_;
@@ -248,6 +283,7 @@ class Kernel {
   Boundary boundary_;
   Audit audit_;
   fs::Vfs vfs_;
+  std::array<ExternalSys, static_cast<std::size_t>(Sys::kMaxSys)> external_{};
   std::unique_ptr<fs::ProcFs> procfs_;  ///< created by mount_procfs()
   std::mutex spawn_mu_;
   std::vector<std::unique_ptr<Process>> procs_;

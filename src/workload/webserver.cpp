@@ -9,6 +9,7 @@
 
 #include "consolidation/servercalls.hpp"
 #include "cosy/exec.hpp"
+#include "ring/ring.hpp"
 #include "sup/fallback.hpp"
 #include "sup/supervisor.hpp"
 
@@ -19,6 +20,7 @@ const char* serve_mode_name(ServeMode m) {
     case ServeMode::kPlain: return "plain";
     case ServeMode::kConsolidated: return "consolidated";
     case ServeMode::kCosy: return "cosy";
+    case ServeMode::kRing: return "ring";
   }
   return "?";
 }
@@ -116,9 +118,253 @@ struct ServerSample {
   std::uint64_t conns = 0;
 };
 
+// --- kRing serving -----------------------------------------------------------
+// The worker needs no epoll at all: the accept SQE parks inside the
+// drain until a connection arrives, so the whole worker is a loop of
+// ring_enter calls. Arena layout (per window of B = ring_batch chains):
+//   [0, B*file_bytes)                       response slots (read -> send)
+//   [B*file_bytes, +B*kRequestBytes)        request slots (recv)
+//   [.., +kRequestBytes)                    the served path (open)
+
+/// CQE tag: response-chain slot * 16 + op index; prologue ops offset
+/// past any slot tag.
+constexpr std::uint64_t slot_ud(std::size_t slot, std::size_t op) {
+  return slot * 16 + op;
+}
+constexpr std::uint64_t kUdAccept = 0xA000;
+constexpr std::uint64_t kUdFirstRecv = 0xA001;
+constexpr std::uint64_t kUdPrevClose = 0xA002;
+
+struct RingConn {
+  uk::Proc& srv;
+  net::Net& net;
+  ring::RingDev& rdev;
+  std::shared_ptr<ring::Ring> rg;
+  int ringfd;
+  int lfd;
+};
+
+/// Queue one SQE, draining the ring if the SQ is unexpectedly full (the
+/// ring is sized for a full window, so this is a backstop, not a path).
+void ring_push(RingConn& rc, const ring::Sqe& s) {
+  while (!rc.rg->user_prepare(s)) {
+    rc.rdev.sys_ring_enter(rc.srv.process(), rc.ringfd,
+                           ring::RingDev::kDrainAll, 0, 0);
+  }
+}
+
+/// Drain everything queued (all CQEs are posted synchronously: the
+/// blocking ops inside the drain park on socket readiness, so nothing
+/// is left pending when the enter returns) and reap into `out`.
+void ring_round(RingConn& rc, std::vector<ring::Cqe>& out) {
+  rc.rdev.sys_ring_enter(rc.srv.process(), rc.ringfd,
+                         ring::RingDev::kDrainAll, 0, 0);
+  ring::Cqe buf[64];
+  std::size_t n;
+  while ((n = rc.rg->user_reap(buf, 64)) > 0) {
+    out.insert(out.end(), buf, buf + n);
+  }
+}
+
+SysRet cqe_res(const std::vector<ring::Cqe>& cqes, std::uint64_t ud,
+               SysRet missing) {
+  for (const ring::Cqe& c : cqes) {
+    if (c.user_data == ud) return c.res;
+  }
+  return missing;  // dropped completion: treat as the caller directs
+}
+
+/// Serve one keep-alive connection through the ring. `prev_conn` (>= 0)
+/// is the previous connection's fd, closed as a free rider SQE on this
+/// connection's prologue enter. Returns the conn fd (left open; it
+/// becomes the next call's prev_conn) or -1 if no connection arrived.
+int serve_ring_conn(RingConn& rc, const WebServerConfig& cfg,
+                    int prev_conn) {
+  uk::Process& p = rc.srv.process();
+  const std::size_t B = std::max<std::size_t>(1, cfg.ring_batch);
+  const std::size_t fb = cfg.file_bytes;
+  const std::uint64_t req_base = B * fb;
+  const std::uint64_t path_off = req_base + B * kRequestBytes;
+  const std::size_t R = cfg.requests_per_conn;
+  std::vector<ring::Cqe> cqes;
+
+  // Prologue: [close prev conn] + accept -> first recv, one crossing.
+  if (prev_conn >= 0) {
+    ring::Sqe c{};
+    c.user_data = kUdPrevClose;
+    c.op = ring::RingOp::kClose;
+    c.fd = prev_conn;
+    ring_push(rc, c);
+  }
+  ring::Sqe a{};
+  a.user_data = kUdAccept;
+  a.op = ring::RingOp::kAccept;
+  a.flags = ring::kSqeLink;
+  a.fd = rc.lfd;
+  ring_push(rc, a);
+  ring::Sqe fr{};
+  fr.user_data = kUdFirstRecv;
+  fr.op = ring::RingOp::kRecv;
+  fr.fd = ring::kFdChain;
+  fr.addr = req_base;
+  fr.len = kRequestBytes;
+  ring_push(rc, fr);
+  ring_round(rc, cqes);
+
+  // Classic rescues (only under faults). A hard-failed accept left the
+  // connection queued, so sys_accept picks it right up; a failed recv
+  // left the request bytes queued on the new socket.
+  if (prev_conn >= 0 && cqe_res(cqes, kUdPrevClose, 0) < 0) {
+    rc.srv.close(prev_conn);
+  }
+  int connfd = static_cast<int>(cqe_res(cqes, kUdAccept, -1));
+  if (connfd < 0) connfd = static_cast<int>(rc.net.sys_accept(p, rc.lfd));
+  if (connfd < 0) return -1;
+  char req[kRequestBytes] = {};
+  std::string path;
+  if (cqe_res(cqes, kUdFirstRecv, -1) > 0) {
+    std::memcpy(req, rc.rg->user_data(req_base, kRequestBytes),
+                kRequestBytes);
+  } else if (rc.net.sys_recv(p, connfd, req, kRequestBytes) <= 0) {
+    rc.srv.close(connfd);
+    return -1;
+  }
+  path = parse_path(req);
+  std::byte* ppath = rc.rg->user_data(path_off, path.size() + 1);
+  if (ppath == nullptr) {
+    rc.srv.close(connfd);
+    return -1;  // arena too small for the path (misconfiguration)
+  }
+  std::memcpy(ppath, path.c_str(), path.size() + 1);
+
+  // Request windows: B linked chains per enter. Request 0's response
+  // chain has no recv (the prologue consumed its request); every later
+  // chain starts by recv'ing the next pipelined request.
+  std::size_t next = 0;
+  while (next < R) {
+    const std::size_t w = std::min(B, R - next);
+    std::vector<bool> has_recv(w);
+    for (std::size_t i = 0; i < w; ++i, ++next) {
+      has_recv[i] = next > 0;
+      if (has_recv[i]) {
+        ring::Sqe s{};
+        s.user_data = slot_ud(i, 0);
+        s.op = ring::RingOp::kRecv;
+        s.flags = ring::kSqeLink;
+        s.fd = connfd;
+        s.addr = req_base + i * kRequestBytes;
+        s.len = kRequestBytes;
+        ring_push(rc, s);
+      }
+      ring::Sqe o{};
+      o.user_data = slot_ud(i, 1);
+      o.op = ring::RingOp::kOpen;
+      o.flags = ring::kSqeLink;
+      o.addr = path_off;
+      o.len = static_cast<std::uint32_t>(path.size() + 1);
+      o.aux = static_cast<std::uint64_t>(fs::kORdOnly);
+      ring_push(rc, o);
+      ring::Sqe rd{};
+      rd.user_data = slot_ud(i, 2);
+      rd.op = ring::RingOp::kRead;
+      rd.flags = ring::kSqeLink;
+      rd.fd = ring::kFdChain;
+      rd.addr = i * fb;
+      rd.len = static_cast<std::uint32_t>(fb);
+      ring_push(rc, rd);
+      ring::Sqe sn{};
+      sn.user_data = slot_ud(i, 3);
+      sn.op = ring::RingOp::kSend;
+      sn.flags = ring::kSqeLink;
+      sn.fd = connfd;
+      sn.addr = i * fb;
+      sn.len = static_cast<std::uint32_t>(fb);
+      ring_push(rc, sn);
+      ring::Sqe cl{};
+      cl.user_data = slot_ud(i, 4);
+      cl.op = ring::RingOp::kClose;
+      cl.fd = ring::kFdChain;
+      ring_push(rc, cl);
+    }
+    cqes.clear();
+    ring_round(rc, cqes);
+    // Rescue pass: any chain whose send did not deliver the full
+    // response is re-served classically (responses are identical, so
+    // delivery order does not matter to the byte-counting client). If
+    // the chain died before its recv consumed the request, consume it
+    // first so the stream stays aligned.
+    for (std::size_t i = 0; i < w; ++i) {
+      if (cqe_res(cqes, slot_ud(i, 3), -1) ==
+          static_cast<SysRet>(fb)) {
+        continue;
+      }
+      if (has_recv[i] && cqe_res(cqes, slot_ud(i, 0), -1) <= 0) {
+        char tmp[kRequestBytes];
+        (void)rc.net.sys_recv(p, connfd, tmp, kRequestBytes);
+      }
+      serve_plain(rc.srv, rc.net, connfd, path);
+    }
+  }
+  return connfd;
+}
+
+void ring_server_worker(uk::Kernel& k, net::Net& net,
+                        const WebServerConfig& cfg, std::size_t w,
+                        std::atomic<bool>& ready, ServerSample& out) {
+  uk::Proc srv(k, "websrv" + std::to_string(w));
+  uk::Process& p = srv.process();
+  const auto port = static_cast<std::uint16_t>(cfg.base_port + w);
+  const std::size_t B = std::max<std::size_t>(1, cfg.ring_batch);
+
+  int lfd = static_cast<int>(net.sys_socket(p));
+  net.sys_bind(p, lfd, port);
+  net.sys_listen(p, lfd, 32);
+
+  // SQ sized for a full window (5 SQEs per chain) plus the prologue.
+  const auto entries = static_cast<std::uint32_t>(B * 5 + 8);
+  const auto arena = static_cast<std::uint32_t>(
+      B * (cfg.file_bytes + kRequestBytes) + kRequestBytes);
+  RingConn rc{srv, net, *cfg.ring, nullptr,
+              static_cast<int>(cfg.ring->sys_ring_setup(p, entries, arena)),
+              lfd};
+  if (rc.ringfd < 0) {
+    ready.store(true, std::memory_order_release);
+    srv.close(lfd);
+    return;
+  }
+  rc.rg = cfg.ring->user_map(p, rc.ringfd).value();
+  if (cfg.supervisor != nullptr) {
+    sup::ExtId id = cfg.supervisor->register_extension(
+        "websrv" + std::to_string(w) + ".ring", sup::Vehicle::kRing);
+    cfg.ring->supervise(p, rc.ringfd, *cfg.supervisor, id);
+  }
+  ready.store(true, std::memory_order_release);
+
+  std::size_t conns_done = 0;
+  int prev_conn = -1;
+  for (std::size_t c = 0; c < cfg.conns_per_worker; ++c) {
+    int connfd = serve_ring_conn(rc, cfg, prev_conn);
+    if (connfd < 0) break;
+    prev_conn = connfd;
+    ++conns_done;
+  }
+  if (prev_conn >= 0) srv.close(prev_conn);
+  srv.close(rc.ringfd);
+  srv.close(lfd);
+
+  out.syscalls = srv.task().syscalls;
+  out.user_bytes = srv.task().bytes_from_user + srv.task().bytes_to_user;
+  out.kernel_units = srv.task().times().kernel;
+  out.conns = conns_done;
+}
+
 void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
                    std::size_t w, std::atomic<bool>& ready,
                    ServerSample& out) {
+  if (cfg.mode == ServeMode::kRing) {
+    ring_server_worker(k, net, cfg, w, ready, out);
+    return;
+  }
   uk::Proc srv(k, "websrv" + std::to_string(w));
   uk::Process& p = srv.process();
   cosy::CosyExtension ext(k);
@@ -158,6 +404,8 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
       const net::EpollEvent& ev = evs[static_cast<std::size_t>(i)];
       if (ev.fd == lfd) {
         switch (cfg.mode) {
+          case ServeMode::kRing:
+            break;  // served by ring_server_worker, never reaches here
           case ServeMode::kPlain: {
             int connfd = static_cast<int>(net.sys_accept(p, lfd));
             if (connfd >= 0) {
@@ -288,11 +536,21 @@ void client_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
     std::string path = www_path(cfg, w * 31 + c);
     char req[kRequestBytes] = {};
     std::snprintf(req, sizeof req, "GET %s", path.c_str());
-    for (std::size_t r = 0; r < cfg.requests_per_conn; ++r) {
-      if (net.sys_send(p, fd, req, kRequestBytes) !=
-          static_cast<SysRet>(kRequestBytes)) {
-        break;
-      }
+    // Pipelined request loop: keep `depth` requests outstanding. Depth 1
+    // is the classic lock-step exchange; the ring server raises it so a
+    // window of chains has requests to drain in one crossing.
+    std::size_t depth = std::max<std::size_t>(1, cfg.pipeline_depth);
+    if (cfg.mode == ServeMode::kRing) {
+      depth = std::max(depth, std::max<std::size_t>(1, cfg.ring_batch));
+    }
+    depth = std::min(depth, cfg.requests_per_conn);
+    std::size_t sent = 0;
+    bool alive = true;
+    for (; sent < depth && alive; ++sent) {
+      alive = net.sys_send(p, fd, req, kRequestBytes) ==
+              static_cast<SysRet>(kRequestBytes);
+    }
+    for (std::size_t r = 0; r < cfg.requests_per_conn && alive; ++r) {
       std::size_t got = 0;
       while (got < cfg.file_bytes) {
         SysRet n = net.sys_recv(p, fd, buf.data(), buf.size());
@@ -301,6 +559,11 @@ void client_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
       }
       if (got != cfg.file_bytes) break;
       requests_ok.fetch_add(1, std::memory_order_relaxed);
+      if (sent < cfg.requests_per_conn) {
+        alive = net.sys_send(p, fd, req, kRequestBytes) ==
+                static_cast<SysRet>(kRequestBytes);
+        ++sent;
+      }
     }
     cli.close(fd);
   }

@@ -7,13 +7,17 @@
 // on its own port, with N client tasks driving keep-alive or one-shot
 // request mixes over net::Net's loopback transport.
 //
-// Three serving modes make the consolidation story measurable:
+// Four serving modes make the crossing-elimination story measurable:
 //  - kPlain:        classic syscalls per request
 //                   (recv, stat, open, read*, send*, close).
 //  - kConsolidated: accept_recv for the connection prologue and sendfile
 //                   for every response (file bytes never cross).
 //  - kCosy:         one compound per connection serves every request
 //                   in a single crossing (plus accept + first recv).
+//  - kRing:         batched submission rings (src/ring): the worker
+//                   queues linked SQE chains (accept->recv prologue,
+//                   recv->open->read->send->close per request) and one
+//                   ring_enter drains a window of ring_batch chains.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,9 @@
 namespace usk::sup {
 class Supervisor;
 }
+namespace usk::ring {
+class RingDev;
+}
 
 namespace usk::workload {
 
@@ -32,6 +39,7 @@ enum class ServeMode {
   kPlain,
   kConsolidated,
   kCosy,
+  kRing,
 };
 
 [[nodiscard]] const char* serve_mode_name(ServeMode m);
@@ -51,6 +59,15 @@ struct WebServerConfig {
   /// re-admitted by backoff probes -- requests keep completing
   /// throughout. Ignored for kPlain (nothing runs in the kernel).
   sup::Supervisor* supervisor = nullptr;
+  /// kRing only: the ring device (required) and the number of response
+  /// chains submitted per ring_enter window.
+  ring::RingDev* ring = nullptr;
+  std::size_t ring_batch = 8;
+  /// Client-side pipelining: how many requests a client keeps in flight
+  /// per connection. 1 = the classic lock-step request/response loop
+  /// (every mode's default); kRing needs depth >= 2 for batching to
+  /// overlap, and run_webserver raises it to ring_batch in that mode.
+  std::size_t pipeline_depth = 1;
 };
 
 /// Fixed-size request wire format ("GET /www/fN" null-padded).

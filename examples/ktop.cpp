@@ -15,7 +15,9 @@
 
 #include "net/net.hpp"
 #include "ring/ring.hpp"
+#include "sup/slo.hpp"
 #include "sup/supervisor.hpp"
+#include "trace/span.hpp"
 #include "uk/userlib.hpp"
 
 namespace {
@@ -34,6 +36,33 @@ std::string read_proc_file(uk::Proc& p, const char* path) {
     out.append(buf, static_cast<std::size_t>(n));
   }
   p.close(fd);
+  return out;
+}
+
+/// First `n` lines of `text` (header + top rows of a /proc table).
+std::string head_lines(const std::string& text, int n) {
+  std::size_t pos = 0;
+  while (n-- > 0 && pos < text.size()) pos = text.find('\n', pos) + 1;
+  return text.substr(0, pos);
+}
+
+/// The /proc/metrics scrape minus per-bucket histogram rows: counters,
+/// gauges, and the p50/p99 quantile lines are the top-level story; the
+/// cumulative le="..." rows are for a real scraper, not a terminal.
+std::string scrape_summary(const std::string& text) {
+  std::string out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.find("_bucket{") != std::string::npos) continue;
+    if (line.find("_sum{") != std::string::npos) continue;
+    if (line.find("_count{") != std::string::npos) continue;
+    out += line;
+    out += '\n';
+  }
   return out;
 }
 
@@ -108,6 +137,22 @@ void supervisor_workload(sup::Supervisor& s) {
     // In-kernel path: the first two invocations fault, the rest behave.
     g.set_result(i < 2 ? sysret_err(Errno::kEFAULT) : 0);
   }
+}
+
+/// SLO walkthrough: give one extension a 1ms latency budget, feed the
+/// monitor two windows of healthy invocations and then two windows of
+/// 50ms ones. The sustained burn raises kSloBreach on the supervisor;
+/// /proc/sup/slo shows the windows and the breach the way a real SRE
+/// dashboard would.
+void slo_workload(sup::Supervisor& s, sup::SloMonitor& slo) {
+  sup::SloPolicy pol;
+  pol.latency_threshold_ns = 1000000;  // 1ms per-invocation budget
+  pol.window = 8;
+  pol.breach_windows = 2;
+  sup::ExtId id = s.register_extension("ktop.render", sup::Vehicle::kCosy);
+  slo.set_policy(id, pol);
+  for (int i = 0; i < 16; ++i) slo.observe(id, 200000, true);    // healthy
+  for (int i = 0; i < 16; ++i) slo.observe(id, 50000000, true);  // burn
 }
 
 /// Ring workload: one SQ/CQ ring serving a batch of linked open->read->
@@ -208,19 +253,29 @@ int main() {
   net.register_proc(kernel.mount_procfs());
   sup::Supervisor supervisor(kernel);
   supervisor.register_proc(kernel.mount_procfs());
+  sup::SloMonitor slo(supervisor);
+  slo.register_proc(kernel.mount_procfs());
   ring::RingDev rdev(kernel, net);
   rdev.register_proc(kernel.mount_procfs());
   uk::Proc top(kernel, "ktop");
   top.mkdir("/work");
 
-  // Switch the tracer on the way a shell would: echo 1 > /proc/trace/enable.
-  int fd = top.open("/proc/trace/enable", fs::kOWrOnly);
-  top.write(fd, "1\n", 2);
-  top.close(fd);
+  // Switch the tracer and the span collector on the way a shell would:
+  // echo 1 > /proc/trace/enable, echo 1 > /proc/span/enable.
+  for (const char* knob : {"/proc/trace/enable", "/proc/span/enable"}) {
+    int fd = top.open(knob, fs::kOWrOnly);
+    top.write(fd, "1\n", 2);
+    top.close(fd);
+  }
 
   for (int frame = 1; frame <= 3; ++frame) {
-    for (int round = 0; round < 8; ++round) workload(top, round);
-    socket_workload(net, top, static_cast<std::uint16_t>(9000 + frame));
+    // Each frame's burst runs under a root span, so every syscall Scope
+    // below attributes its crossings and copy bytes to "ktop.frame".
+    {
+      trace::SpanScope span("ktop.frame", trace::SpanVehicle::kPlain);
+      for (int round = 0; round < 8; ++round) workload(top, round);
+      socket_workload(net, top, static_cast<std::uint16_t>(9000 + frame));
+    }
     render_frame(top, frame);
   }
 
@@ -240,6 +295,19 @@ int main() {
               read_proc_file(top, "/proc/ring/rings").c_str());
   std::printf("\nring drain counters (/proc/ring/stats):\n%s",
               read_proc_file(top, "/proc/ring/stats").c_str());
+
+  // Spans + SLO panel: the frame spans collected above, one extension
+  // driven through a sustained latency burn, and the Prometheus scrape --
+  // all read back through /proc like every other panel.
+  slo_workload(supervisor, slo);
+  std::printf("\nrequest spans (/proc/span/stats):\n%s",
+              read_proc_file(top, "/proc/span/stats").c_str());
+  std::printf("\nspan store, first rows (/proc/span/spans):\n%s",
+              head_lines(read_proc_file(top, "/proc/span/spans"), 8).c_str());
+  std::printf("\nextension SLOs (/proc/sup/slo):\n%s",
+              read_proc_file(top, "/proc/sup/slo").c_str());
+  std::printf("\nmetrics scrape, buckets elided (/proc/metrics):\n%s",
+              scrape_summary(read_proc_file(top, "/proc/metrics")).c_str());
 
   std::printf("\ntracepoint sites (/proc/trace/events):\n%s",
               read_proc_file(top, "/proc/trace/events").c_str());

@@ -13,18 +13,23 @@
 #           transient injection at the ring fault sites (label `ring`),
 #           then bench_ring --quick with its JSON gated by the crossing
 #           thresholds (<= 0.5 crossings/req at batch 8, >= 4x vs plain)
+#   obs     the request-path suites re-run span-enabled (label `obs`:
+#           USK_SPAN=1 arms every SpanScope for real under the existing
+#           assertions), then bench_obs --quick with its JSON gated by
+#           the overhead budgets (disabled span site <= 1% of a null
+#           syscall, span-enabled webserver slowdown <= 1.05x)
 #   asan    the fault soak again under AddressSanitizer, proving the
 #           injected error paths free everything they unwind past
 #   ubsan   the fault + sup soaks under UndefinedBehaviorSanitizer
 #           (halt_on_error: any UB report is a red run)
 #
-# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|asan|ubsan|tsan|all]
+# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|asan|ubsan|tsan|all]
 #                                                          (default: all)
 #
-# Build trees: build/ (plain + faults + sup + ring), build-asan/,
+# Build trees: build/ (plain + faults + sup + ring + obs), build-asan/,
 # build-ubsan/, build-tsan/. TSan is optional (heavyweight); `all` runs
-# plain+faults+sup+ring+asan+ubsan, matching the checked-in acceptance
-# gates.
+# plain+faults+sup+ring+obs+asan+ubsan, matching the checked-in
+# acceptance gates.
 # Fails fast: the first red suite stops the script with a nonzero exit.
 set -euo pipefail
 
@@ -50,6 +55,15 @@ run_ring()   { build build; (cd build && ctest -L ring -j "$jobs" --output-on-fa
                  --expect-min 'bench_ring:crossing-ratio-plain-over-ring:4.0' \
                  "$json"
                rm -f "$json"; }
+run_obs()    { build build; (cd build && ctest -L obs -j "$jobs" --output-on-failure);
+               local json; json="$(mktemp)"
+               USK_BENCH_JSON="$json" ./build/bench/bench_obs --quick
+               python3 scripts/check_bench_json.py \
+                 --expect bench_obs \
+                 --expect-max 'bench_obs:span-disabled-overhead-pct:1.0' \
+                 --expect-max 'bench_obs:span-enabled-webserver-slowdown-pct:105' \
+                 "$json"
+               rm -f "$json"; }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
 run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
@@ -64,10 +78,11 @@ case "$mode" in
   faults) run_faults ;;
   sup)    run_sup ;;
   ring)   run_ring ;;
+  obs)    run_obs ;;
   asan)   run_asan ;;
   ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_sup; run_ring; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [plain|faults|sup|ring|asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|ring|obs|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

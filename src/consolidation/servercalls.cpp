@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::consolidation {
@@ -12,6 +13,10 @@ using uk::Process;
 
 SysRet sys_accept_recv(net::Net& net, Kernel& k, Process& p, int listenfd,
                        void* ubuf, std::size_t n, int* uconnfd) {
+  // Span before Scope: destruction order lets the Scope epilogue
+  // attribute the kAcceptRecv crossing to this span before it publishes.
+  trace::SpanScope span("net.accept_recv",
+                        trace::SpanVehicle::kConsolidated);
   Kernel::Scope scope(k, p, uk::Sys::kAcceptRecv);
   USK_TRACE_LATENCY("net", "accept_recv");
   if (ubuf == nullptr || uconnfd == nullptr) {
@@ -58,6 +63,7 @@ SysRet sys_accept_recv(net::Net& net, Kernel& k, Process& p, int listenfd,
 SysRet sys_sendfile(net::Net& net, Kernel& k, Process& p, int sockfd,
                     const char* upath, std::uint64_t offset,
                     std::size_t count) {
+  trace::SpanScope span("net.sendfile", trace::SpanVehicle::kConsolidated);
   Kernel::Scope scope(k, p, uk::Sys::kSendfile);
   USK_TRACE_LATENCY("net", "sendfile");
   // Descriptor first, path copy-in second: a bad fd must be reported

@@ -6,6 +6,7 @@
 
 #include "base/klog.hpp"
 #include "fault/kfail.hpp"
+#include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::cosy {
@@ -31,6 +32,12 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
                       &out.ret);
     guard = &*own_guard;
   }
+  // Compound-entry span, declared BEFORE the syscall scope so the scope
+  // epilogue attributes the kCosy crossing to it. Destruction order then
+  // publishes the span after attribution lands.
+  trace::SpanScope span("cosy.compound", trace::SpanVehicle::kCosy,
+                        sup_ != nullptr ? sup_id_ : -1);
+  span.watch_result(&out.ret);
   uk::Kernel::Scope scope(k_, p, uk::Sys::kCosy);
   USK_TRACE_LATENCY("cosy", "execute");
   USK_TRACEPOINT("cosy", "execute", c.ops.size());

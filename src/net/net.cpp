@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "fault/kfail.hpp"
+#include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::net {
@@ -294,7 +295,14 @@ SysRet Net::sys_accept(uk::Process& p, int fd) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kAccept);
   USK_TRACE_LATENCY("net", "accept");
   USK_TRACEPOINT("net", "accept", static_cast<std::uint64_t>(fd));
-  return scope.done(do_accept(p, fd));
+  SysRet r = do_accept(p, fd);
+  if (r >= 0) {
+    // Request ingress: stamp the event stream with the enclosing span,
+    // so a drained trace can join point events to the span tree.
+    USK_TRACEPOINT("span", "ingress", trace::SpanScope::current_id(),
+                   static_cast<std::uint64_t>(r));
+  }
+  return scope.done(r);
 }
 
 // --- send / recv -----------------------------------------------------------

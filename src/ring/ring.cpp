@@ -10,6 +10,7 @@
 
 #include "fault/kfail.hpp"
 #include "sup/supervisor.hpp"
+#include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::ring {
@@ -343,6 +344,16 @@ SysRet RingDev::exec_sqe(uk::Process& p, Ring& r, const Sqe& e, int fd,
 void RingDev::exec_chain(uk::Process& p, Ring& r,
                          const std::vector<Sqe>& chain, bool classic,
                          Errno* violation, std::vector<Cqe>& out) {
+  // One span per chain (the ring's request unit), a child of whatever
+  // span submitted the enter (chains drain on the submitting thread).
+  // Classic decomposition keeps the same parent, so a quarantined
+  // ring's fallback work stays inside the original request tree.
+  sup::InvocationGuard* g = sup::InvocationGuard::current();
+  trace::SpanScope span(classic ? "ring.chain.classic" : "ring.chain",
+                        classic ? trace::SpanVehicle::kFallback
+                                : trace::SpanVehicle::kRing,
+                        g != nullptr ? g->ext() : -1);
+  const std::uint64_t kunits0 = p.task.times().kernel;
   ChainCtx cc;
   bool failed = false;
   out.reserve(out.size() + chain.size());
@@ -381,6 +392,7 @@ void RingDev::exec_chain(uk::Process& p, Ring& r,
       }
     }
     if (!corrupted) res = exec_sqe(p, r, e, fd, classic);
+    if (res < 0) span.set_status(res);
     if (res >= 0) {
       if (e.op == RingOp::kOpen || e.op == RingOp::kAccept) {
         cc.fd = static_cast<int>(res);
@@ -419,6 +431,12 @@ void RingDev::exec_chain(uk::Process& p, Ring& r,
       out[cc.opened_at[i]].res = sysret_err(Errno::kECANCELED);
       r.n_.cqes_canceled.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+  if (!classic) {
+    // Nested dispatch opens no syscall Scope, so the chain's kernel
+    // work is charged explicitly; classic chains run full syscalls
+    // whose epilogues attribute to this span on their own.
+    span.add_units(p.task.times().kernel - kunits0);
   }
 }
 

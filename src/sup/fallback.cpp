@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 
 #include "consolidation/servercalls.hpp"
 #include "fault/kfail.hpp"
 #include "fs/types.hpp"
+#include "trace/span.hpp"
 
 namespace usk::sup {
 
@@ -78,6 +80,12 @@ SysRet supervised_accept_recv(Supervisor& s, ExtId id, net::Net& net,
   if (r != Route::kFallback) {
     SysRet ret = 0;
     {
+      // Re-admission probes get their own span so a trace shows the
+      // probe attempt distinctly from routine kernel-path requests.
+      std::optional<trace::SpanScope> probe_span;
+      if (r == Route::kProbe) {
+        probe_span.emplace("sup.probe", trace::SpanVehicle::kProbe, id);
+      }
       InvocationGuard g(s, id, &p.task, r, &ret);
       // The kernel path stages the request into an n-byte kernel buffer;
       // charge it against the kmalloc quota before any side effect.
@@ -94,7 +102,12 @@ SysRet supervised_accept_recv(Supervisor& s, ExtId id, net::Net& net,
     if (*uconnfd >= 0) return ret;  // conn delivered: not retryable
     // Failed before accepting anything: serve it classically.
   }
+  // Decomposed classic path: a child span keeps the fallback syscalls
+  // inside the original request's tree (same span discipline as the
+  // kernel path, different vehicle tag).
   SysRet ret = 0;
+  trace::SpanScope span("sup.fallback", trace::SpanVehicle::kFallback,
+                        id);
   InvocationGuard g(s, id, &p.task, Route::kFallback, &ret);
   if (auto f = USK_FAIL_POINT(fault::Site::kSupFallback); f.fail) {
     ret = sysret_err(f.err);
@@ -114,6 +127,10 @@ SysRet supervised_sendfile(Supervisor& s, ExtId id, net::Net& net,
   if (r != Route::kFallback) {
     SysRet ret = 0;
     {
+      std::optional<trace::SpanScope> probe_span;
+      if (r == Route::kProbe) {
+        probe_span.emplace("sup.probe", trace::SpanVehicle::kProbe, id);
+      }
       InvocationGuard g(s, id, &p.task, r, &ret);
       // Kernel-side staging page for the file->socket move.
       if (!g.charge_kmalloc(4096)) {
@@ -128,6 +145,8 @@ SysRet supervised_sendfile(Supervisor& s, ExtId id, net::Net& net,
     // sys_sendfile fails only with zero bytes sent: decompose and retry.
   }
   SysRet ret = 0;
+  trace::SpanScope span("sup.fallback", trace::SpanVehicle::kFallback,
+                        id);
   InvocationGuard g(s, id, &p.task, Route::kFallback, &ret);
   if (auto f = USK_FAIL_POINT(fault::Site::kSupFallback); f.fail) {
     ret = sysret_err(f.err);

@@ -6,6 +6,8 @@
 
 #include "base/klog.hpp"
 #include "fault/kfail.hpp"
+#include "sup/slo.hpp"
+#include "trace/ktrace.hpp"
 #include "trace/tracepoint.hpp"
 
 namespace usk::sup {
@@ -74,6 +76,7 @@ const char* violation_name(ViolationKind k) {
     case ViolationKind::kFaultInjected: return "fault-injected";
     case ViolationKind::kProbeFailure: return "probe-failure";
     case ViolationKind::kMonitorAnomaly: return "monitor-anomaly";
+    case ViolationKind::kSloBreach: return "slo-breach";
     case ViolationKind::kOther: return "other";
   }
   return "?";
@@ -101,6 +104,7 @@ InvocationGuard::InvocationGuard(Supervisor& s, ExtId id, sched::Task* task,
     : s_(s), id_(id), task_(task), route_(route), ret_ptr_(ret),
       prev_(tl_guard) {
   tl_guard = this;
+  wall0_ = trace::ktrace().now_ns();
   if (task_ != nullptr) {
     units0_ = task_->times().kernel;
     old_budget_ = task_->kernel_budget();
@@ -136,7 +140,8 @@ InvocationGuard::~InvocationGuard() {
       forced = ViolationKind::kQuotaUnits;
     }
   }
-  s_.finish_invocation(id_, route_, result, units, forced);
+  const std::uint64_t wall_ns = trace::ktrace().now_ns() - wall0_;
+  s_.finish_invocation(id_, route_, result, units, wall_ns, forced);
 }
 
 bool InvocationGuard::charge_fuel(std::uint64_t n) {
@@ -283,6 +288,11 @@ void Supervisor::record_violation(ExtId id, ViolationKind kind, Errno err) {
   record_violation_locked(e, id, kind, err);
 }
 
+std::string Supervisor::extension_name(ExtId id) const {
+  std::lock_guard lk(mu_);
+  return exts_.at(static_cast<std::size_t>(id)).name;
+}
+
 void Supervisor::record_reisolation(ExtId id, std::string_view fn_name) {
   std::lock_guard lk(mu_);
   Ext& e = exts_.at(static_cast<std::size_t>(id));
@@ -403,16 +413,34 @@ ViolationKind Supervisor::classify(Vehicle vehicle, Errno e) {
 
 void Supervisor::finish_invocation(ExtId id, Route route, SysRet result,
                                    std::uint64_t units,
+                                   std::uint64_t wall_ns,
                                    ViolationKind forced) {
-  std::lock_guard lk(mu_);
-  Ext& e = exts_.at(static_cast<std::size_t>(id));
-  ++e.stats.invocations;
+  {
+    std::lock_guard lk(mu_);
+    Ext& e = exts_.at(static_cast<std::size_t>(id));
+    ++e.stats.invocations;
+    const Errno err = sysret_errno(result);
+    const ViolationKind kind = forced != ViolationKind::kNone
+                                   ? forced
+                                   : classify(e.vehicle, err);
+    finish_invocation_locked(e, id, route, result, kind, err);
+    (void)units;
+  }
+  // SLO observation outside mu_: the monitor records into kmetrics and a
+  // breach verdict calls record_violation(), which takes mu_ again. Only
+  // kernel-path runs are observed -- scoring the deliberately-slower
+  // fallback would keep a quarantined extension breaching forever and
+  // the probe path could never recover it.
+  if (route != Route::kFallback) {
+    if (SloMonitor* m = slo_.load(std::memory_order_acquire)) {
+      m->observe(id, wall_ns, !sysret_is_err(result));
+    }
+  }
+}
 
-  const Errno err = sysret_errno(result);
-  ViolationKind kind = forced != ViolationKind::kNone
-                           ? forced
-                           : classify(e.vehicle, err);
-
+void Supervisor::finish_invocation_locked(Ext& e, ExtId id, Route route,
+                                          SysRet result, ViolationKind kind,
+                                          Errno err) {
   if (route == Route::kFallback) {
     ++e.stats.fallback_runs;
     push_window_locked(e, false);
@@ -502,7 +530,6 @@ void Supervisor::finish_invocation(ExtId id, Route route, SysRet result,
     return;
   }
   record_violation_locked(e, id, kind, err);
-  (void)units;
 }
 
 void Supervisor::record_violation_locked(Ext& e, ExtId id,

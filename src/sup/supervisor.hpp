@@ -31,6 +31,7 @@
 // relaxed load per syscall (the uk::sup_gateway_armed check).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <mutex>
@@ -76,6 +77,7 @@ enum class ViolationKind {
   kFaultInjected,   ///< kfail-class errno (EINTR/EIO/ECONNRESET/ENOMEM...)
   kProbeFailure,    ///< re-admission probe failed
   kMonitorAnomaly,  ///< rule monitor flagged as noisy/wrong
+  kSloBreach,       ///< sustained latency/error SLO burn (sup/slo.hpp)
   kOther,           ///< any other abort (e.g. rejected compound)
 };
 const char* violation_name(ViolationKind k);
@@ -139,6 +141,7 @@ struct ExtStats {
 };
 
 class Supervisor;
+class SloMonitor;
 
 /// RAII for one supervised invocation. Create it AROUND the vehicle's
 /// syscall Scope (the guard binds the calling thread so the gateway hook
@@ -197,6 +200,7 @@ class InvocationGuard {
   SysRet result_ = 0;
   InvocationGuard* prev_;           ///< previous tl guard (nesting)
   std::uint64_t units0_ = 0;        ///< task kernel units at entry
+  std::uint64_t wall0_ = 0;         ///< ktrace timebase ns at entry (SLO)
   std::uint64_t old_budget_ = 0;    ///< restored at exit
   bool narrowed_ = false;
   std::uint64_t fuel_used_ = 0;
@@ -235,6 +239,13 @@ class Supervisor {
   /// Out-of-band violation (e.g. a monitor anomaly observed outside an
   /// invocation guard).
   void record_violation(ExtId id, ViolationKind kind, Errno err);
+  /// Registered name of an extension (copies under the lock).
+  [[nodiscard]] std::string extension_name(ExtId id) const;
+  /// Attach/detach the SLO monitor fed by every finished invocation
+  /// (sup/slo.hpp). One relaxed load when none is attached.
+  void set_slo_monitor(SloMonitor* m) {
+    slo_.store(m, std::memory_order_release);
+  }
   /// A trusted function lost its fast mode after a violation (Cosy §2.4
   /// heuristic trust): the supervisor logs it as an event so tests and
   /// operators can see the re-isolation happen.
@@ -284,9 +295,15 @@ class Supervisor {
   /// Classify a finished invocation's result for `vehicle`.
   static ViolationKind classify(Vehicle vehicle, Errno e);
 
-  /// Invocation epilogue (called by ~InvocationGuard).
+  /// Invocation epilogue (called by ~InvocationGuard). Breaker work runs
+  /// under mu_; the SLO observation runs AFTER mu_ is released because
+  /// the monitor may call straight back into record_violation().
   void finish_invocation(ExtId id, Route route, SysRet result,
-                         std::uint64_t units, ViolationKind forced);
+                         std::uint64_t units, std::uint64_t wall_ns,
+                         ViolationKind forced);
+  void finish_invocation_locked(Ext& e, ExtId id, Route route,
+                                SysRet result, ViolationKind kind,
+                                Errno err);
 
   // The following run under mu_.
   void record_violation_locked(Ext& e, ExtId id, ViolationKind kind,
@@ -298,6 +315,7 @@ class Supervisor {
 
   uk::Kernel& k_;
   BreakerPolicy default_policy_;
+  std::atomic<SloMonitor*> slo_{nullptr};
   mutable std::mutex mu_;
   std::vector<Ext> exts_;
   std::deque<SupEvent> events_;

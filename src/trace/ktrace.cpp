@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "base/klog.hpp"
+
 namespace usk::trace {
 
 Ktrace& Ktrace::instance() {
@@ -72,7 +74,18 @@ void Ktrace::emit(std::uint16_t site, std::uint64_t a0, std::uint64_t a1) {
         ring_capacity_.load(std::memory_order_relaxed));
   }
   ++buf.emitted;
-  buf.ring->push(e);  // full rings drop + count, never block
+  if (!buf.ring->push(e) && !buf.drop_warned) {
+    // Full ring: the event is dropped (counted by the ring). Losing
+    // events silently turns every downstream analysis subtly wrong, so
+    // the FIRST drop on each CPU warns; /proc/trace/stats carries the
+    // running counts from then on.
+    buf.drop_warned = true;
+    USK_KLOG_RATELIMIT_NAMED(
+        "trace.drop", base::LogLevel::kWarn, 8u,
+        "ktrace: cpu %u dropping events (ring full, capacity %zu); "
+        "drain more often or configure() a larger ring",
+        static_cast<unsigned>(e.cpu), buf.ring->capacity());
+  }
   if (site < site_count_.load(std::memory_order_acquire)) {
     sites_[site].hits.fetch_add(1, std::memory_order_relaxed);
   }
@@ -106,11 +119,27 @@ std::uint64_t Ktrace::dropped() const {
   return sum;
 }
 
+std::vector<Ktrace::CpuStats> Ktrace::per_cpu_stats() const {
+  std::vector<CpuStats> out;
+  for (std::size_t cpu = 0; cpu < base::PerCpu<CpuBuf>::size(); ++cpu) {
+    const CpuBuf& buf = cpus_.slot(cpu);
+    if (buf.emitted == 0 && !buf.ring) continue;
+    CpuStats s;
+    s.cpu = cpu;
+    s.emitted = buf.emitted;
+    s.dropped = buf.ring ? buf.ring->dropped() : 0;
+    s.capacity = buf.ring ? buf.ring->capacity() : 0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 void Ktrace::reset() {
   cpus_.for_each([&](CpuBuf& buf) {
     // Recreate rather than drain: also zeroes the ring's drop counters.
     buf.ring.reset();
     buf.emitted = 0;
+    buf.drop_warned = false;
   });
   seq_.store(0, std::memory_order_relaxed);
   std::uint16_t n = site_count_.load(std::memory_order_acquire);

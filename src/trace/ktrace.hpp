@@ -123,6 +123,16 @@ class Ktrace {
   [[nodiscard]] std::uint64_t emitted() const;
   [[nodiscard]] std::uint64_t dropped() const;
 
+  /// Per-CPU ring accounting for /proc/trace/stats: one row per CPU that
+  /// has ever emitted. Quiescent-point read like every PerCpu merge.
+  struct CpuStats {
+    std::size_t cpu = 0;
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    std::size_t capacity = 0;
+  };
+  [[nodiscard]] std::vector<CpuStats> per_cpu_stats() const;
+
   // --- histograms ------------------------------------------------------------
   /// Record one syscall latency. Always-on (not gated on enable): the
   /// syscall epilogue already has the wall time in hand, so this is one
@@ -169,6 +179,7 @@ class Ktrace {
   struct CpuBuf {
     std::unique_ptr<Ring> ring;
     std::uint64_t emitted = 0;
+    bool drop_warned = false;  ///< first-drop warning fired for this CPU
   };
 
   const std::chrono::steady_clock::time_point epoch_;

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "fs/procfs.hpp"
+#include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
 #include "uk/kproc.hpp"
 
@@ -95,6 +96,13 @@ Kernel::Scope::~Scope() {
   r.bytes_in = static_cast<std::uint32_t>(p_.task.bytes_from_user - in0_);
   r.bytes_out = static_cast<std::uint32_t>(p_.task.bytes_to_user - out0_);
   k_.audit_.record(r);
+  // Span attribution: the innermost open span (if any) absorbs this
+  // call's crossing and its byte/unit deltas. No span -> one
+  // thread-local load, same discipline as the gateway check below.
+  if (trace::SpanScope* sp = trace::SpanScope::current()) {
+    sp->attribute_syscall(r.bytes_in, r.bytes_out,
+                          p_.task.times().kernel - kunits0_, ret_);
+  }
   // Supervisor gateway: one relaxed load when no supervisor is registered.
   if (sup_gateway_armed()) {
     if (SupGatewayFn fn = g_sup_fn.load(std::memory_order_acquire)) {

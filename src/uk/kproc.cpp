@@ -8,8 +8,10 @@
 
 #include "fault/kfail.hpp"
 #include "fs/vfs.hpp"
+#include "metrics/metrics.hpp"
 #include "mm/kmalloc.hpp"
 #include "trace/ktrace.hpp"
+#include "trace/span.hpp"
 #include "uk/audit.hpp"
 #include "uk/kernel.hpp"
 
@@ -202,6 +204,107 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
     }
     return out;
   });
+
+  // Ring accounting: totals plus one row per CPU that has emitted, so a
+  // wraparound on one hot CPU is visible even when the totals look tame.
+  pfs.add_file("/trace/stats", [] {
+    std::string out;
+    appendf(out, "enabled %d\nemitted %" PRIu64 "\ndropped %" PRIu64 "\n",
+            trace::enabled() ? 1 : 0, trace::ktrace().emitted(),
+            trace::ktrace().dropped());
+    appendf(out, "# cpu emitted dropped capacity\n");
+    for (const auto& c : trace::ktrace().per_cpu_stats()) {
+      appendf(out, "%zu %" PRIu64 " %" PRIu64 " %zu\n", c.cpu, c.emitted,
+              c.dropped, c.capacity);
+    }
+    return out;
+  });
+
+  // --- spans ----------------------------------------------------------------
+  pfs.add_file(
+      "/span/enable",
+      [] { return std::string(trace::span_enabled() ? "1\n" : "0\n"); },
+      [](std::string_view in) {
+        std::size_t end = in.find_last_not_of(" \t\n");
+        if (end == std::string_view::npos) return Errno::kEINVAL;
+        std::string_view v = in.substr(0, end + 1);
+        if (v == "1") {
+          trace::kspan().enable();
+        } else if (v == "0") {
+          trace::kspan().disable();
+        } else {
+          return Errno::kEINVAL;
+        }
+        return Errno::kOk;
+      });
+
+  pfs.add_file("/span/stats", [] {
+    const trace::SpanStats s = trace::kspan().stats();
+    std::string out;
+    appendf(out,
+            "enabled %d\nstarted %" PRIu64 "\nfinished %" PRIu64
+            "\ndropped %" PRIu64 "\nactive %" PRIu64 "\n",
+            trace::span_enabled() ? 1 : 0, s.started, s.finished, s.dropped,
+            s.active);
+    return out;
+  });
+
+  pfs.add_file("/span/spans", [] {
+    std::string out;
+    appendf(out,
+            "# id parent pid ext vehicle name dur_ns crossings bytes_in "
+            "bytes_out kernel_units status\n");
+    for (const trace::SpanRecord& s : trace::kspan().snapshot()) {
+      appendf(out,
+              "%" PRIu64 " %" PRIu64 " %u %d %s %s %" PRIu64 " %" PRIu64
+              " %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRId64 "\n",
+              s.id, s.parent, s.pid, s.ext,
+              trace::span_vehicle_name(s.vehicle), s.name,
+              s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0,
+              s.crossings, s.bytes_in, s.bytes_out, s.kernel_units,
+              s.status);
+    }
+    return out;
+  });
+
+  // --- metrics ---------------------------------------------------------------
+  // Bridge the counters other subsystems own into kmetrics once (the
+  // registry replaces callbacks on re-registration, so multi-Kernel
+  // tests don't duplicate series), then expose the whole registry.
+  metrics::kmetrics().gauge_fn(
+      "usk_trace_events_emitted", "ktrace events emitted since reset", {},
+      [] { return static_cast<std::int64_t>(trace::ktrace().emitted()); });
+  metrics::kmetrics().gauge_fn(
+      "usk_trace_events_dropped",
+      "ktrace events lost to full per-CPU rings", {},
+      [] { return static_cast<std::int64_t>(trace::ktrace().dropped()); });
+  metrics::kmetrics().gauge_fn(
+      "usk_spans_started", "spans opened since reset", {},
+      [] { return static_cast<std::int64_t>(trace::kspan().stats().started); });
+  metrics::kmetrics().gauge_fn(
+      "usk_spans_dropped", "finished spans evicted from the store", {},
+      [] { return static_cast<std::int64_t>(trace::kspan().stats().dropped); });
+  metrics::kmetrics().add_scrape_fn("ktrace.syscall_latency", [](std::string&
+                                                                     out) {
+    // Per-syscall latency quantiles computed from the SAME histograms
+    // /proc/trace/hist/syscall renders, so the two surfaces agree.
+    out +=
+        "# HELP usk_syscall_latency_ns syscall wall latency (ktrace log2 "
+        "histograms)\n# TYPE usk_syscall_latency_ns gauge\n";
+    for (std::uint16_t nr = 0; nr < trace::Ktrace::kMaxSyscalls; ++nr) {
+      trace::HistogramSnapshot h = trace::ktrace().syscall_hist(nr).snapshot();
+      if (h.count == 0) continue;
+      const char* name = sys_name(static_cast<Sys>(nr));
+      appendf(out, "usk_syscall_latency_ns{syscall=\"%s\",quantile=\"0.5\"} %" PRIu64 "\n",
+              name, h.percentile(50.0));
+      appendf(out, "usk_syscall_latency_ns{syscall=\"%s\",quantile=\"0.99\"} %" PRIu64 "\n",
+              name, h.percentile(99.0));
+      appendf(out, "usk_syscall_latency_ns_count{syscall=\"%s\"} %" PRIu64 "\n",
+              name, h.count);
+    }
+  });
+
+  pfs.add_file("/metrics", [] { return metrics::kmetrics().expose(); });
 
   // --- /proc/fail: runtime fault-injection control (see fault/kfail.hpp) ----
   // Reading /proc/fail/spec shows the armed configuration; writing a spec

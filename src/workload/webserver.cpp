@@ -12,6 +12,7 @@
 #include "ring/ring.hpp"
 #include "sup/fallback.hpp"
 #include "sup/supervisor.hpp"
+#include "trace/span.hpp"
 
 namespace usk::workload {
 
@@ -180,6 +181,10 @@ SysRet cqe_res(const std::vector<ring::Cqe>& cqes, std::uint64_t ud,
 /// becomes the next call's prev_conn) or -1 if no connection arrived.
 int serve_ring_conn(RingConn& rc, const WebServerConfig& cfg,
                     int prev_conn) {
+  // Request ingress for the ring vehicle: the whole keep-alive
+  // connection is one root span; each drained chain opens a child span
+  // inside Ring::exec_chain, and the classic rescues attribute here.
+  trace::SpanScope span("ws.conn", trace::SpanVehicle::kRing);
   uk::Process& p = rc.srv.process();
   const std::size_t B = std::max<std::size_t>(1, cfg.ring_batch);
   const std::size_t fb = cfg.file_bytes;
@@ -219,7 +224,10 @@ int serve_ring_conn(RingConn& rc, const WebServerConfig& cfg,
   }
   int connfd = static_cast<int>(cqe_res(cqes, kUdAccept, -1));
   if (connfd < 0) connfd = static_cast<int>(rc.net.sys_accept(p, rc.lfd));
-  if (connfd < 0) return -1;
+  if (connfd < 0) {
+    span.set_name("ws.idle");  // no connection arrived: not a request
+    return -1;
+  }
   char req[kRequestBytes] = {};
   std::string path;
   if (cqe_res(cqes, kUdFirstRecv, -1) > 0) {
@@ -227,12 +235,14 @@ int serve_ring_conn(RingConn& rc, const WebServerConfig& cfg,
                 kRequestBytes);
   } else if (rc.net.sys_recv(p, connfd, req, kRequestBytes) <= 0) {
     rc.srv.close(connfd);
+    span.set_name("ws.idle");
     return -1;
   }
   path = parse_path(req);
   std::byte* ppath = rc.rg->user_data(path_off, path.size() + 1);
   if (ppath == nullptr) {
     rc.srv.close(connfd);
+    span.set_name("ws.idle");
     return -1;  // arena too small for the path (misconfiguration)
   }
   std::memcpy(ppath, path.c_str(), path.size() + 1);
@@ -407,6 +417,7 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
           case ServeMode::kRing:
             break;  // served by ring_server_worker, never reaches here
           case ServeMode::kPlain: {
+            trace::SpanScope span("ws.accept", trace::SpanVehicle::kPlain);
             int connfd = static_cast<int>(net.sys_accept(p, lfd));
             if (connfd >= 0) {
               net.sys_epoll_ctl(p, ep, net::kEpollCtlAdd, connfd,
@@ -415,6 +426,11 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
             break;
           }
           case ServeMode::kConsolidated: {
+            // Ingress span: the consolidated accept branch serves the
+            // connection's first request itself, so the span is promoted
+            // to ws.request once a response goes out.
+            trace::SpanScope span("ws.accept",
+                                  trace::SpanVehicle::kConsolidated, ext_id);
             int connfd = -1;
             std::memset(req, 0, sizeof req);
             SysRet r =
@@ -426,6 +442,7 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
                                                      kRequestBytes, &connfd);
             if (connfd < 0) break;
             if (r > 0) {
+              span.set_name("ws.request");
               if (sup != nullptr) {
                 sup::supervised_sendfile(*sup, ext_id, net, k, p, connfd,
                                          parse_path(req).c_str(), 0,
@@ -443,6 +460,12 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
           case ServeMode::kCosy: {
             int connfd = static_cast<int>(net.sys_accept(p, lfd));
             if (connfd < 0) break;
+            // Request ingress: one root span per keep-alive connection
+            // (the compound serves all its requests). The quarantine
+            // fallback and the classic rescue open CHILD spans below, so
+            // a degraded connection still reads as one tree.
+            trace::SpanScope span("ws.conn", trace::SpanVehicle::kCosy,
+                                  ext_id);
             std::memset(req, 0, sizeof req);
             if (net.sys_recv(p, connfd, req, kRequestBytes) > 0) {
               const std::string path = parse_path(req);
@@ -453,6 +476,10 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
                 if (route == sup::Route::kFallback) {
                   // Quarantined: the whole connection is served by the
                   // classic user-space loop, accounted as a fallback run.
+                  // The decomposed syscalls land in this child span, so
+                  // they stay inside the original request's tree.
+                  trace::SpanScope fb("sup.fallback",
+                                      trace::SpanVehicle::kFallback, ext_id);
                   SysRet fres = 0;
                   sup::InvocationGuard g(*sup, ext_id, &srv.task(), route,
                                          &fres);
@@ -473,6 +500,9 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
                     // Aborted before op 0 (fuel voided at entry, rejected
                     // compound): no side effects yet, so the classic loop
                     // can serve the connection in full.
+                    trace::SpanScope rescue("sup.fallback",
+                                            trace::SpanVehicle::kFallback,
+                                            ext_id);
                     serve_classic_conn(srv, net, cfg, connfd, path);
                   }
                 }
@@ -485,6 +515,13 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
         }
       } else {
         int connfd = ev.fd;
+        // Data-event ingress span, promoted to ws.request once a
+        // nonempty request is actually served.
+        trace::SpanScope span("ws.data",
+                              cfg.mode == ServeMode::kConsolidated
+                                  ? trace::SpanVehicle::kConsolidated
+                                  : trace::SpanVehicle::kPlain,
+                              ext_id);
         std::memset(req, 0, sizeof req);
         SysRet r = net.sys_recv(p, connfd, req, kRequestBytes);
         if (r <= 0) {  // client closed (or error): retire the connection
@@ -492,6 +529,7 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
           srv.close(connfd);
           ++conns_done;
         } else if (cfg.mode == ServeMode::kConsolidated) {
+          span.set_name("ws.request");
           if (sup != nullptr) {
             sup::supervised_sendfile(*sup, ext_id, net, k, p, connfd,
                                      parse_path(req).c_str(), 0,
@@ -502,6 +540,7 @@ void server_worker(uk::Kernel& k, net::Net& net, const WebServerConfig& cfg,
                                         cfg.file_bytes);
           }
         } else {
+          span.set_name("ws.request");
           serve_plain(srv, net, connfd, parse_path(req));
         }
       }

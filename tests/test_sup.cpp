@@ -13,6 +13,8 @@
 #include <string>
 #include <vector>
 
+#include <cstdio>
+
 #include "cosy/adaptive.hpp"
 #include "cosy/compound.hpp"
 #include "cosy/exec.hpp"
@@ -22,9 +24,12 @@
 #include "fs/memfs.hpp"
 #include "fs/procfs.hpp"
 #include "net/net.hpp"
+#include "metrics/metrics.hpp"
 #include "sup/fallback.hpp"
 #include "sup/monitor.hpp"
+#include "sup/slo.hpp"
 #include "sup/supervisor.hpp"
+#include "trace/histogram.hpp"
 #include "uk/kernel.hpp"
 #include "uk/userlib.hpp"
 #include "workload/webserver.hpp"
@@ -741,6 +746,182 @@ TEST_F(SupTest, ProcFilesRenderSupervisorState) {
   const std::string events = cat("/proc/sup/events");
   EXPECT_NE(events.find("violation"), std::string::npos);
   EXPECT_NE(events.find("segfault"), std::string::npos);
+}
+
+// --- the SLO monitor -----------------------------------------------------------
+
+TEST_F(SupTest, SloSustainedLatencyBurnTripsBreakerAndRecovers) {
+  Supervisor s(kernel_);
+  s.set_policy(quick_policy());  // violation_threshold = 2
+  ExtId id = s.register_extension("slo.latency", Vehicle::kCosy);
+  sup::SloMonitor mon(s);
+  sup::SloPolicy sp;
+  sp.latency_threshold_ns = 1'000'000;  // 1 ms: real probe runs stay under
+  sp.window = 4;
+  sp.breach_windows = 2;
+  mon.set_policy(id, sp);
+
+  // Injected latency regression: 8 observations at 50 ms are 2
+  // consecutive fully-bad windows -> one kSloBreach on the breaker.
+  for (int i = 0; i < 8; ++i) mon.observe(id, 50'000'000, true);
+  EXPECT_EQ(mon.state(id).violations, 1u);
+  EXPECT_EQ(s.stats(id).violations, 1u);
+  EXPECT_EQ(s.health(id), Health::kProbation);
+
+  // The burn keeps going: a second sustained breach quarantines.
+  for (int i = 0; i < 8; ++i) mon.observe(id, 50'000'000, true);
+  EXPECT_EQ(s.health(id), Health::kQuarantined);
+  EXPECT_EQ(s.stats(id).quarantines, 1u);
+
+  // Recovery through the ordinary backoff machinery: two fallback ticks,
+  // a clean probe starts probation, one clean kernel run re-admits.
+  EXPECT_EQ(s.route(id), Route::kFallback);
+  EXPECT_EQ(s.route(id), Route::kFallback);
+  ASSERT_EQ(s.route(id), Route::kProbe);
+  run_invocation(s, id, Route::kProbe, 0);
+  EXPECT_EQ(s.health(id), Health::kProbation);
+  ASSERT_EQ(s.route(id), Route::kKernel);
+  run_invocation(s, id, Route::kKernel, 0);
+  EXPECT_EQ(s.health(id), Health::kHealthy);
+  EXPECT_EQ(s.stats(id).readmissions, 1u);
+}
+
+TEST_F(SupTest, SloObservesKernelRoutesButNotFallback) {
+  Supervisor s(kernel_);
+  s.set_policy(quick_policy());
+  ExtId id = s.register_extension("slo.routes", Vehicle::kConsolidated);
+  sup::SloMonitor mon(s);
+
+  // The kernel route reports its wall latency through the guard epilogue.
+  run_invocation(s, id, Route::kKernel, 0);
+  EXPECT_EQ(mon.state(id).observed, 1u);
+
+  // Fallback runs execute the user-space decomposition: scoring their
+  // latency would let a quarantine perpetuate itself.
+  run_invocation(s, id, Route::kFallback, 0);
+  EXPECT_EQ(mon.state(id).observed, 1u);
+
+  // Probes are kernel-path and must be scored (a probe that still burns
+  // the SLO should not sneak back in unobserved).
+  run_invocation(s, id, Route::kProbe, 0);
+  EXPECT_EQ(mon.state(id).observed, 2u);
+
+  // Failed invocations count as errors and bad observations.
+  mon.observe(id, 10, /*ok=*/false);
+  EXPECT_EQ(mon.state(id).observed, 3u);
+  EXPECT_EQ(mon.state(id).errors, 1u);
+  EXPECT_EQ(mon.state(id).bad, 1u);
+}
+
+TEST_F(SupTest, SloErrorBurnRateBreachesWithoutLatencyThreshold) {
+  Supervisor s(kernel_);
+  s.set_policy(quick_policy());
+  ExtId id = s.register_extension("slo.errors", Vehicle::kConsolidated);
+  sup::SloMonitor mon(s);
+  sup::SloPolicy sp;  // latency unscored (threshold 0): errors alone burn
+  sp.window = 4;
+  sp.breach_windows = 1;
+  mon.set_policy(id, sp);
+
+  for (int i = 0; i < 4; ++i) mon.observe(id, 10, /*ok=*/false);
+  EXPECT_EQ(mon.state(id).violations, 1u);
+  EXPECT_EQ(s.stats(id).violations, 1u);
+  EXPECT_EQ(s.health(id), Health::kProbation);
+}
+
+TEST_F(SupTest, SloToleratesBurstsBelowBreachFraction) {
+  Supervisor s(kernel_);
+  s.set_policy(quick_policy());
+  ExtId id = s.register_extension("slo.burst", Vehicle::kCosy);
+  sup::SloMonitor mon(s);
+  sup::SloPolicy sp;
+  sp.latency_threshold_ns = 1'000'000;
+  sp.window = 4;
+  sp.breach_windows = 1;  // max_breach_fraction stays at the 0.5 default
+  mon.set_policy(id, sp);
+
+  // Half the window slow is AT the fraction, not over it: no breach.
+  for (int i = 0; i < 2; ++i) mon.observe(id, 50'000'000, true);
+  for (int i = 0; i < 2; ++i) mon.observe(id, 10, true);
+  EXPECT_EQ(mon.state(id).windows_breached, 0u);
+  EXPECT_EQ(mon.state(id).bad, 2u);
+  EXPECT_EQ(s.health(id), Health::kHealthy);
+}
+
+TEST_F(SupTest, SloBreachStreakResetsOnCleanWindow) {
+  Supervisor s(kernel_);
+  s.set_policy(quick_policy());
+  ExtId id = s.register_extension("slo.streak", Vehicle::kCosy);
+  sup::SloMonitor mon(s);
+  sup::SloPolicy sp;
+  sp.latency_threshold_ns = 1'000'000;
+  sp.window = 4;
+  sp.breach_windows = 2;  // needs CONSECUTIVE bad windows
+  mon.set_policy(id, sp);
+
+  for (int i = 0; i < 4; ++i) mon.observe(id, 50'000'000, true);  // bad
+  for (int i = 0; i < 4; ++i) mon.observe(id, 10, true);          // clean
+  for (int i = 0; i < 4; ++i) mon.observe(id, 50'000'000, true);  // bad
+  EXPECT_EQ(mon.state(id).windows_breached, 2u);
+  EXPECT_EQ(mon.state(id).violations, 0u);  // streak never reached 2
+  EXPECT_EQ(s.health(id), Health::kHealthy);
+}
+
+TEST_F(SupTest, SloProcFileAndMetricsRenderMatchingPercentiles) {
+  Supervisor s(kernel_);
+  fs::ProcFs& pfs = kernel_.mount_procfs();
+  sup::SloMonitor mon(s);
+  mon.register_proc(pfs);
+  ExtId id = s.register_extension("slo.metrics", Vehicle::kCosy);
+  sup::SloPolicy sp;
+  sp.latency_threshold_ns = 1'000'000;
+  mon.set_policy(id, sp);
+
+  // Feed a known latency shape and mirror it into a reference histogram:
+  // the /proc/metrics summary quantiles must be bit-identical, because
+  // the monitor records into the same log2 histogram implementation the
+  // ktrace views render percentiles from.
+  trace::Histogram ref;
+  for (int i = 0; i < 90; ++i) {
+    mon.observe(id, 1'000, true);
+    ref.record(1'000);
+  }
+  for (int i = 0; i < 10; ++i) {
+    mon.observe(id, 200'000, true);
+    ref.record(200'000);
+  }
+
+  auto cat = [&](const char* path) {
+    std::string out;
+    int fd = proc_.open(path, fs::kORdOnly);
+    if (fd < 0) return out;
+    char buf[2048];
+    SysRet n;
+    while ((n = proc_.read(fd, buf, sizeof(buf))) > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+    }
+    proc_.close(fd);
+    return out;
+  };
+  const std::string slo = cat("/proc/sup/slo");
+  EXPECT_NE(slo.find("slo.metrics"), std::string::npos);
+  EXPECT_NE(slo.find("100"), std::string::npos);  // observed column
+
+  const std::string prom = metrics::kmetrics().expose();
+  const trace::HistogramSnapshot snap = ref.snapshot();
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "usk_ext_latency_ns{extension=\"slo.metrics\","
+                "quantile=\"0.5\"} %llu",
+                static_cast<unsigned long long>(snap.percentile(50.0)));
+  EXPECT_NE(prom.find(line), std::string::npos) << prom;
+  std::snprintf(line, sizeof line,
+                "usk_ext_latency_ns{extension=\"slo.metrics\","
+                "quantile=\"0.99\"} %llu",
+                static_cast<unsigned long long>(snap.percentile(99.0)));
+  EXPECT_NE(prom.find(line), std::string::npos) << prom;
+  EXPECT_NE(prom.find("usk_slo_breaches_total{extension=\"slo.metrics\"}"),
+            std::string::npos);
 }
 
 // --- the full degradation story under a fault storm ----------------------------

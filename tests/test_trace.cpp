@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "base/klog.hpp"
 #include "fs/memfs.hpp"
 #include "fs/procfs.hpp"
 #include "trace/chrome.hpp"
@@ -164,6 +165,34 @@ TEST_F(KtraceTest, FullRingDropsAndCounts) {
   // Conservation: drained == emitted - dropped, exactly.
   EXPECT_EQ(events.size(),
             trace::ktrace().emitted() - trace::ktrace().dropped());
+}
+
+TEST_F(KtraceTest, PerCpuStatsAccountEveryDropAndWarnOnce) {
+  trace::ktrace().configure(8);
+  trace::ktrace().enable();
+  std::uint16_t site = trace::ktrace().register_site("test", "wrap_site");
+  for (int i = 0; i < 100; ++i) trace::ktrace().emit(site);
+  trace::ktrace().disable();
+  ASSERT_GT(trace::ktrace().dropped(), 0u);
+
+  // The per-CPU rows must reconcile exactly with the merged totals.
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  for (const trace::Ktrace::CpuStats& c : trace::ktrace().per_cpu_stats()) {
+    emitted += c.emitted;
+    dropped += c.dropped;
+    EXPECT_EQ(c.capacity, 8u);
+  }
+  EXPECT_EQ(emitted, trace::ktrace().emitted());
+  EXPECT_EQ(dropped, trace::ktrace().dropped());
+
+  // Losing events silently is the observability sin: the first drop on
+  // this CPU logged a rate-limited warning through klog.
+  EXPECT_TRUE(base::klog().contains("ktrace: cpu"));
+
+  // reset() clears the rows and re-arms the first-drop warning.
+  trace::ktrace().reset();
+  EXPECT_TRUE(trace::ktrace().per_cpu_stats().empty());
 }
 
 TEST_F(KtraceTest, LosslessUnderParallelSyscallDispatch) {
@@ -378,6 +407,43 @@ TEST_F(ProcSyscallTest, TraceEventsListsFiredSites) {
   EXPECT_NE(text.find("syscall:enter "), std::string::npos);
   EXPECT_NE(text.find("syscall:exit "), std::string::npos);
   EXPECT_NE(text.find("boundary:enter "), std::string::npos);
+}
+
+TEST_F(ProcSyscallTest, TraceStatsRendersPerCpuDropRows) {
+  trace::ktrace().configure(8);
+  int fd = proc_.open("/proc/trace/enable", fs::kOWrOnly);
+  proc_.write(fd, "1", 1);
+  proc_.close(fd);
+  std::uint16_t site = trace::ktrace().register_site("test", "proc_wrap");
+  for (int i = 0; i < 100; ++i) trace::ktrace().emit(site);
+  fd = proc_.open("/proc/trace/enable", fs::kOWrOnly);
+  proc_.write(fd, "0", 1);
+  proc_.close(fd);
+
+  std::string text = cat("/proc/trace/stats");
+  EXPECT_NE(text.find("emitted "), std::string::npos);
+  EXPECT_NE(text.find("dropped "), std::string::npos);
+  EXPECT_NE(text.find("# cpu emitted dropped capacity"), std::string::npos);
+  // At least one per-CPU row reports the 8-slot ring that wrapped.
+  EXPECT_NE(text.find(" 8\n"), std::string::npos);
+}
+
+TEST_F(ProcSyscallTest, MetricsExposeBridgesTraceAndSpanCounters) {
+  trace::ktrace().configure(8);
+  trace::ktrace().enable();
+  std::uint16_t site = trace::ktrace().register_site("test", "metrics_wrap");
+  for (int i = 0; i < 100; ++i) trace::ktrace().emit(site);
+  trace::ktrace().disable();
+  proc_.getpid();  // give the syscall-latency scrape a live histogram
+
+  std::string prom = cat("/proc/metrics");
+  EXPECT_NE(prom.find("usk_trace_events_emitted"), std::string::npos);
+  EXPECT_NE(prom.find("usk_trace_events_dropped"), std::string::npos);
+  EXPECT_NE(prom.find("usk_spans_started"), std::string::npos);
+  EXPECT_NE(prom.find("usk_spans_dropped"), std::string::npos);
+  // The ktrace syscall histograms surface as labeled latency series.
+  EXPECT_NE(prom.find("usk_syscall_latency_ns{syscall=\"getpid\""),
+            std::string::npos);
 }
 
 TEST_F(ProcSyscallTest, ProcStatsSizeZeroLikeRealProc) {

@@ -8,16 +8,21 @@
 // from /proc/trace/hist/syscall plus headline counters from /proc. The
 // trace subsystem is switched on by writing to /proc/trace/enable, again
 // through the ordinary write(2) path.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "blockdev/buffer_cache.hpp"
+#include "blockdev/disk.hpp"
 #include "net/net.hpp"
 #include "ring/ring.hpp"
+#include "store/store.hpp"
 #include "sup/slo.hpp"
 #include "sup/supervisor.hpp"
 #include "trace/span.hpp"
+#include "uk/kproc.hpp"
 #include "uk/userlib.hpp"
 
 namespace {
@@ -155,6 +160,22 @@ void slo_workload(sup::Supervisor& s, sup::SloMonitor& slo) {
   for (int i = 0; i < 16; ++i) slo.observe(id, 50000000, true);  // burn
 }
 
+/// Storage workload: commit a burst of transactions through the group-
+/// commit journal and push pages through the writeback cache, so the
+/// storage panel has live journal amortization and cache counters.
+void storage_workload(store::Store& st, blockdev::BufferCache& cache) {
+  std::vector<std::uint8_t> page(4096);
+  for (int i = 0; i < 32; ++i) {
+    store::JTxn txn = st.begin_txn();
+    std::fill(page.begin(), page.end(), static_cast<std::uint8_t>(i));
+    txn.append(/*kind=*/0, /*target=*/static_cast<std::uint32_t>(i % 64 + 1),
+               page.data(), page.size());
+    (void)st.commit_txn(std::move(txn));
+    (void)cache.write_data(static_cast<blockdev::Lba>(i % 96), page.data());
+  }
+  (void)st.checkpoint();
+}
+
 /// Ring workload: one SQ/CQ ring serving a batch of linked open->read->
 /// close chains in a single ring_enter, so the rings panel has live
 /// geometry and drain counters to show.
@@ -257,6 +278,19 @@ int main() {
   slo.register_proc(kernel.mount_procfs());
   ring::RingDev rdev(kernel, net);
   rdev.register_proc(kernel.mount_procfs());
+
+  // Storage tier: a real backing image file under a writeback page cache
+  // and group-commit journal, surfaced at /proc/{blockdev,store}/**.
+  blockdev::Disk disk(4096);
+  blockdev::BufferCache cache(disk, 128);
+  store::Store store;
+  std::remove("ktop_store.img");
+  const bool store_up = store.open("ktop_store.img").ok();
+  if (store_up) store.attach_cache(&cache);
+  uk::register_storage_proc(kernel.mount_procfs(),
+                            store_up ? &store : nullptr, &cache);
+  cache.start_writeback();
+
   uk::Proc top(kernel, "ktop");
   top.mkdir("/work");
 
@@ -295,6 +329,21 @@ int main() {
               read_proc_file(top, "/proc/ring/rings").c_str());
   std::printf("\nring drain counters (/proc/ring/stats):\n%s",
               read_proc_file(top, "/proc/ring/stats").c_str());
+
+  // Storage panel: group-commit amortization, image traffic, and page-
+  // cache behaviour, read back through /proc like every other panel.
+  if (store_up) storage_workload(store, cache);
+  cache.stop_writeback();
+  std::printf("\npage cache (/proc/blockdev/cache):\n%s",
+              read_proc_file(top, "/proc/blockdev/cache").c_str());
+  if (store_up) {
+    std::printf("\nbacking store (/proc/store/stats):\n%s",
+                read_proc_file(top, "/proc/store/stats").c_str());
+    std::printf("\ngroup-commit journal (/proc/store/journal):\n%s",
+                read_proc_file(top, "/proc/store/journal").c_str());
+    store.close();
+  }
+  std::remove("ktop_store.img");
 
   // Spans + SLO panel: the frame spans collected above, one extension
   // driven through a sustained latency burn, and the Prometheus scrape --

@@ -18,18 +18,23 @@
 #           assertions), then bench_obs --quick with its JSON gated by
 #           the overhead budgets (disabled span site <= 1% of a null
 #           syscall, span-enabled webserver slowdown <= 1.05x)
+#   storage the persistent-tier suites (store, journalfs, blockdev) with
+#           transient injection at the storage fault sites plus the crash
+#           oracle sweep (label `storage`), then bench_storage --quick
+#           gated by the group-commit amortization (>= 3 txns/flush at 8
+#           writers) and PostMark persistence (<= 1.10x) budgets
 #   asan    the fault soak again under AddressSanitizer, proving the
 #           injected error paths free everything they unwind past
 #   ubsan   the fault + sup soaks under UndefinedBehaviorSanitizer
 #           (halt_on_error: any UB report is a red run)
 #
-# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|asan|ubsan|tsan|all]
-#                                                          (default: all)
+# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|storage|asan|
+#                              ubsan|tsan|all]          (default: all)
 #
-# Build trees: build/ (plain + faults + sup + ring + obs), build-asan/,
-# build-ubsan/, build-tsan/. TSan is optional (heavyweight); `all` runs
-# plain+faults+sup+ring+obs+asan+ubsan, matching the checked-in
-# acceptance gates.
+# Build trees: build/ (plain + faults + sup + ring + obs + storage),
+# build-asan/, build-ubsan/, build-tsan/. TSan is optional (heavyweight);
+# `all` runs plain+faults+sup+ring+obs+storage+asan+ubsan, matching the
+# checked-in acceptance gates.
 # Fails fast: the first red suite stops the script with a nonzero exit.
 set -euo pipefail
 
@@ -64,6 +69,15 @@ run_obs()    { build build; (cd build && ctest -L obs -j "$jobs" --output-on-fai
                  --expect-max 'bench_obs:span-enabled-webserver-slowdown-pct:105' \
                  "$json"
                rm -f "$json"; }
+run_storage(){ build build; (cd build && ctest -L storage -j "$jobs" --output-on-failure);
+               local json; json="$(mktemp)"
+               USK_BENCH_JSON="$json" ./build/bench/bench_storage --quick
+               python3 scripts/check_bench_json.py \
+                 --expect bench_storage \
+                 --expect-min 'bench_storage:commits-per-flush-8w:3.0' \
+                 --expect-max 'bench_storage:postmark-store-slowdown-x100:110' \
+                 "$json"
+               rm -f "$json"; }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
 run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
@@ -79,10 +93,11 @@ case "$mode" in
   sup)    run_sup ;;
   ring)   run_ring ;;
   obs)    run_obs ;;
+  storage) run_storage ;;
   asan)   run_asan ;;
   ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [plain|faults|sup|ring|obs|asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_storage; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|ring|obs|storage|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

@@ -1,0 +1,33 @@
+// BlockBackend: the data plane under the buffer cache.
+//
+// The Disk in blockdev/disk.hpp is a COST model -- it charges simulated
+// seek/transfer units and hosts the disk.* fault sites, but carries no
+// bytes. A BlockBackend is where block PAYLOADS live: the persistent
+// storage tier (store::BackingImage) implements it over a real image
+// file. The buffer cache composes both -- every miss fill and writeback
+// charges the Disk model AND moves real bytes through the backend -- so
+// cost accounting and durability stay in lockstep without blockdev
+// depending on the store layer (store depends on blockdev, never the
+// reverse; this interface is the seam).
+#pragma once
+
+#include <cstdint>
+
+#include "base/errno.hpp"
+
+namespace usk::blockdev {
+
+class BlockBackend {
+ public:
+  virtual ~BlockBackend() = default;
+  /// Read/write one 4 KiB block payload. `lba` is in the same block
+  /// address space the cache and Disk model use.
+  [[nodiscard]] virtual Result<void> backend_read(std::uint64_t lba,
+                                                  void* buf) = 0;
+  [[nodiscard]] virtual Result<void> backend_write(std::uint64_t lba,
+                                                   const void* buf) = 0;
+  /// Durability barrier for everything written so far.
+  [[nodiscard]] virtual Result<void> backend_flush() = 0;
+};
+
+}  // namespace usk::blockdev

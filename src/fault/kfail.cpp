@@ -28,6 +28,9 @@ constexpr SiteDesc kSiteDesc[kNumSites] = {
     {"cosy", Errno::kEINTR},          {"cosy_fuel", Errno::kEDQUOT},
     {"sup.probe", Errno::kEIO},       {"sup.fallback", Errno::kEIO},
     {"ring.sqe_corrupt", Errno::kEFAULT}, {"ring.cqe_drop", Errno::kEIO},
+    {"store.short_write", Errno::kEIO},
+    {"store.torn_commit_header", Errno::kEIO},
+    {"store.fsync_fail", Errno::kEIO},
 };
 
 /// SplitMix64: the per-check decision hash. Statistically uniform, cheap,

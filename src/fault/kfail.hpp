@@ -69,6 +69,9 @@ enum class Site : std::uint8_t {
   kSupFallback,   ///< supervisor classic-fallback path -> fallback error
   kRingSqeCorrupt, ///< ring SQE read from shared memory is corrupt -> EFAULT
   kRingCqeDrop,    ///< ring completion lost before posting -> EIO
+  kStoreShortWrite,  ///< store::BackingImage::write_block -> short write (EIO)
+  kStoreTornHeader,  ///< store journal commit-header write -> torn on media
+  kStoreFsyncFail,   ///< store::BackingImage::flush (fsync) -> EIO
   kMaxSite
 };
 

@@ -95,6 +95,18 @@ class FileSystem {
 
   /// Flush pending state (journals). Default: nothing to do.
   virtual Result<void> sync() { return Errno::kOk; }
+
+  /// fsync(2)/fdatasync(2): make `ino`'s pending state durable. Journaled
+  /// filesystems flush their running transaction (ext3-style: the journal
+  /// is shared, so one file's fsync commits everything pending); the
+  /// default falls back to a whole-filesystem sync. `datasync` permits
+  /// skipping pure-timestamp metadata, which the stored filesystems here
+  /// journal anyway -- both flavours reach the same commit path.
+  virtual Result<void> fsync(InodeNum ino, bool datasync) {
+    (void)ino;
+    (void)datasync;
+    return sync();
+  }
 };
 
 }  // namespace usk::fs

@@ -24,13 +24,16 @@
 #include <algorithm>
 #include <cstring>
 #include <functional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "base/errno.hpp"
 #include "fault/kfail.hpp"
 #include "fs/filesystem.hpp"
 #include "blockdev/buffer_cache.hpp"
 #include "fs/memfs.hpp"  // FsCosts
+#include "store/store.hpp"
 
 namespace usk::fs {
 
@@ -64,6 +67,8 @@ struct JournalFsStats {
   std::uint64_t bitmap_scan_steps = 0;
   std::uint64_t commit_markers = 0;  ///< txn commit records (crash-sim mode)
   std::uint64_t torn_records = 0;    ///< kfail disk.torn injections absorbed
+  std::uint64_t store_commits = 0;   ///< group-commit units paid (store mode)
+  std::uint64_t store_home_writes = 0; ///< post-commit home blocks dirtied
 };
 
 template <class Policy = RawPtrPolicy>
@@ -416,6 +421,58 @@ class JournalFs final : public FileSystem {
 
   Result<void> sync() override { return commit_journal(); }
 
+  /// fsync(2)/fdatasync(2): in store mode, commit the running transaction
+  /// batch to the group-commit journal (ext3-style -- the journal is
+  /// shared, so this makes every pending metadata update durable, not
+  /// just `ino`'s). Without a store this degrades to sync(). Both
+  /// flavours hit the same commit path: this filesystem journals all
+  /// metadata, so there is nothing for datasync to skip.
+  Result<void> fsync(InodeNum ino, bool datasync) override {
+    (void)ino;
+    (void)datasync;
+    if (store_ != nullptr) return store_commit();
+    return sync();
+  }
+
+  // --- persistent store attachment (PR-8) -------------------------------------
+  /// Attach the persistent storage tier: `cache` becomes the page cache
+  /// over the store's backing image (the store wires itself in as the
+  /// cache's data plane), every transaction's redo records flow into the
+  /// store's group-commit journal, and post-images are written to their
+  /// home locations in the image AFTER the commit unit is durable (redo
+  /// journaling: background writeback can never push uncommitted state).
+  ///
+  /// Data-region layout (cache LBA == store data-region block):
+  ///   [0, IT)            inode table (DiskInode array, packed)
+  ///   [IT, IT+BM)        block bitmap (one byte per fs block)
+  ///   [IT+BM, IT+BM+D)   fs data blocks (fs block b at IT+BM+b-1)
+  ///
+  /// A fresh image is formatted from the in-memory state (root inode) and
+  /// checkpointed; an existing image is restored: checkpointed state
+  /// loaded from the data region, then the journal's committed prefix
+  /// replayed on top (store.recover), then re-checkpointed.
+  Result<void> attach_store(store::Store* s, blockdev::BufferCache* cache) {
+    if (s == nullptr || cache == nullptr) return Errno::kEINVAL;
+    if (s->data_blocks() < total_home_blocks()) return Errno::kEINVAL;
+    store_ = s;
+    io_ = cache;
+    s->attach_cache(cache);
+    if (!crash_sim_) enable_crash_sim();
+    // Fresh vs existing image: the root inode's home bytes decide.
+    std::vector<std::uint8_t> blk(kBlockSize);
+    USK_TRY(io_->read_data(0, blk.data()));
+    DiskInode root_home{};
+    std::memcpy(&root_home, blk.data(), sizeof(DiskInode));
+    if (root_home.used != 0) return restore_from_store();
+    return format_store();
+  }
+
+  [[nodiscard]] bool store_attached() const { return store_ != nullptr; }
+  /// Recovery report of the last attach_store() over an existing image.
+  [[nodiscard]] const store::Store::RecoveryReport& last_recovery() const {
+    return last_recovery_;
+  }
+
   [[nodiscard]] const JournalFsStats& jstats() const { return jstats_; }
 
   // --- crash consistency -----------------------------------------------------
@@ -634,14 +691,24 @@ class JournalFs final : public FileSystem {
 
   // --- disk mapping ---------------------------------------------------------
   // LBA layout: [0, journal_slots_) journal strip, then data blocks.
+  // In store mode the journal lives in the image, not the LBA space, so
+  // data blocks map to their REAL home locations in the store's data
+  // region (behind the inode table and bitmap).
   Result<void> io_touch_data(std::uint32_t blk, bool write) {
     if (io_ == nullptr || blk == 0) return {};
-    blockdev::Lba lba = journal_slots_ + (blk - 1);
+    blockdev::Lba lba = store_ != nullptr
+                            ? static_cast<blockdev::Lba>(fsdata_base() +
+                                                         (blk - 1))
+                            : static_cast<blockdev::Lba>(journal_slots_ +
+                                                         (blk - 1));
     if (write) return io_->write(lba % io_->disk().size());
     return io_->read(lba % io_->disk().size());
   }
   void io_touch_journal(std::size_t slot) {
-    if (io_ == nullptr) return;
+    // Store mode: journal appends go through the store's group-commit
+    // journal (real image writes); the LBA-strip pricing would double-
+    // charge them.
+    if (io_ == nullptr || store_ != nullptr) return;
     // Journal-strip write errors are absorbed: in this model the journal
     // only prices the sequential append; a lost record shows up at
     // recovery as a torn/short log, which replay already tolerates.
@@ -910,6 +977,10 @@ class JournalFs final : public FileSystem {
     JournalRecord& rec = next_record(JRecKind::kBlock, blk, kBlockSize);
     Ptr<std::uint8_t> src = data_ + (blk - 1) * kBlockSize;
     for (std::size_t i = 0; i < kBlockSize; ++i) rec.payload[i] = src[i];
+    // The store gets the CLEAN post-image (before kfail's disk.torn can
+    // mutate the in-memory record): media tears are the store's own
+    // fault sites' job.
+    store_append(rec);
     seal_record(rec);
     ++jstats_.journal_records;
     txn_dirty_ = true;
@@ -932,6 +1003,7 @@ class JournalFs final : public FileSystem {
     const DiskInode& n = inodes_[ino - 1];
     const auto* src = reinterpret_cast<const std::uint8_t*>(&n);
     for (std::size_t i = 0; i < sizeof(DiskInode); ++i) rec.payload[i] = src[i];
+    store_append(rec);
     seal_record(rec);
     ++jstats_.journal_records;
     txn_dirty_ = true;
@@ -943,6 +1015,7 @@ class JournalFs final : public FileSystem {
     if (!crash_sim_) return;
     JournalRecord& rec = next_record(JRecKind::kBitmap, blk, 1);
     rec.payload[0] = used;
+    store_append(rec);
     seal_record(rec);
     txn_dirty_ = true;
   }
@@ -967,12 +1040,222 @@ class JournalFs final : public FileSystem {
     // writeback error leaves the cache dirty and is surfaced to sync();
     // the journal is reclaimed regardless (retry re-dirties nothing).
     Result<void> r{};
-    if (io_ != nullptr) r = io_->flush();
+    if (store_ != nullptr) {
+      // Store mode: commit the accumulated transaction batch to the
+      // group-commit journal. The store checkpoints itself on region
+      // pressure; the image -- not an in-memory snapshot -- is the
+      // stable truth, so snapshot_stable() is skipped below.
+      r = store_commit();
+    } else if (io_ != nullptr) {
+      r = io_->flush();
+    }
     ++jstats_.journal_commits;
     journal_head_ = 0;
     txn_dirty_ = false;
-    if (crash_sim_) snapshot_stable();
+    if (crash_sim_ && store_ == nullptr) snapshot_stable();
     return r;
+  }
+
+  // --- persistent store internals (PR-8) --------------------------------------
+  // Home-location layout in the store's data region (see attach_store).
+  [[nodiscard]] std::size_t inode_table_blocks() const {
+    return (max_inodes_ * sizeof(DiskInode) + kBlockSize - 1) / kBlockSize;
+  }
+  [[nodiscard]] std::size_t bitmap_table_blocks() const {
+    return (data_blocks_ + kBlockSize - 1) / kBlockSize;
+  }
+  [[nodiscard]] std::size_t fsdata_base() const {
+    return inode_table_blocks() + bitmap_table_blocks();
+  }
+  [[nodiscard]] std::size_t total_home_blocks() const {
+    return fsdata_base() + data_blocks_;
+  }
+
+  /// Feed a (clean) redo record into the running store transaction and
+  /// note which home blocks its post-image dirties. The batch commits at
+  /// sync()/fsync()/commit-interval boundaries, never per record.
+  void store_append(const JournalRecord& rec) {
+    if (store_ == nullptr) return;
+    store_txn_.append(rec.kind, rec.target, rec.payload, rec.len);
+    mark_home(static_cast<JRecKind>(rec.kind), rec.target);
+  }
+
+  void mark_home(JRecKind kind, std::uint32_t target) {
+    switch (kind) {
+      case JRecKind::kBlock:
+        pending_home_.insert(fsdata_base() + (target - 1));
+        break;
+      case JRecKind::kInode: {
+        // sizeof(DiskInode) does not divide the block size: an inode can
+        // straddle a block boundary, dirtying two home blocks.
+        const std::size_t first = (target - 1) * sizeof(DiskInode);
+        pending_home_.insert(first / kBlockSize);
+        pending_home_.insert((first + sizeof(DiskInode) - 1) / kBlockSize);
+        break;
+      }
+      case JRecKind::kBitmap:
+        pending_home_.insert(inode_table_blocks() + (target - 1) / kBlockSize);
+        break;
+      case JRecKind::kCommit:
+        break;
+    }
+  }
+
+  /// Commit the accumulated batch to the store's group-commit journal,
+  /// then (inside the store's checkpoint exclusion) apply the home-
+  /// location post-images to the page cache. Redo ordering: home blocks
+  /// are dirtied only AFTER the commit unit is durable, so background
+  /// writeback can never push uncommitted state into the image.
+  Result<void> store_commit() {
+    if (store_ == nullptr) return {};
+    if (store_txn_.empty()) {
+      // Nothing journaled since the last commit; retry any home writes a
+      // previous commit failed to apply.
+      return flush_home_writes();
+    }
+    Result<std::uint64_t> r = store_->commit_txn(
+        std::move(store_txn_), [this] { return flush_home_writes(); });
+    store_txn_ = store::JTxn{};
+    if (!r.ok()) return r.error();
+    ++jstats_.store_commits;
+    return {};
+  }
+
+  /// Write every pending home block's CURRENT content (the live arrays
+  /// equal the post-commit state: everything in the batch just committed
+  /// together) into the page cache. A failed write keeps the remaining
+  /// blocks pending for the next commit; the journal still holds their
+  /// records until a later checkpoint succeeds.
+  Result<void> flush_home_writes() {
+    if (pending_home_.empty()) return {};
+    std::vector<std::uint8_t> buf(kBlockSize);
+    for (auto it = pending_home_.begin(); it != pending_home_.end();) {
+      rebuild_home_block(*it, buf.data());
+      if (Result<void> w =
+              io_->write_data(static_cast<blockdev::Lba>(*it), buf.data());
+          !w.ok()) {
+        return w;
+      }
+      ++jstats_.store_home_writes;
+      it = pending_home_.erase(it);
+    }
+    return {};
+  }
+
+  /// Reconstruct the authoritative content of home block `lba` from the
+  /// live arrays (byte-wise through the policy pointers: inodes straddle
+  /// block boundaries, so whole blocks are rebuilt, not records copied).
+  void rebuild_home_block(std::size_t lba, std::uint8_t* out) {
+    std::memset(out, 0, kBlockSize);
+    if (lba < inode_table_blocks()) {
+      const std::size_t lo = lba * kBlockSize;
+      const std::size_t hi = lo + kBlockSize;
+      const std::size_t table_bytes = max_inodes_ * sizeof(DiskInode);
+      for (std::size_t k = lo / sizeof(DiskInode);
+           k < max_inodes_ && k * sizeof(DiskInode) < hi; ++k) {
+        const DiskInode tmp = inodes_[k];
+        const auto* src = reinterpret_cast<const std::uint8_t*>(&tmp);
+        const std::size_t base = k * sizeof(DiskInode);
+        for (std::size_t i = 0; i < sizeof(DiskInode); ++i) {
+          const std::size_t off = base + i;
+          if (off >= lo && off < hi && off < table_bytes) {
+            out[off - lo] = src[i];
+          }
+        }
+      }
+      return;
+    }
+    if (lba < fsdata_base()) {
+      const std::size_t lo = (lba - inode_table_blocks()) * kBlockSize;
+      if (lo >= data_blocks_) return;
+      const std::size_t n = std::min(kBlockSize, data_blocks_ - lo);
+      for (std::size_t i = 0; i < n; ++i) out[i] = bitmap_[lo + i];
+      return;
+    }
+    const std::size_t blk = lba - fsdata_base();  // 0-based fs data block
+    Ptr<std::uint8_t> src = data_ + blk * kBlockSize;
+    for (std::size_t i = 0; i < kBlockSize; ++i) out[i] = src[i];
+  }
+
+  /// Replay one recovered journal record into the live arrays (the store
+  /// flavour of apply_record; targets re-validated since the record comes
+  /// off the medium).
+  void apply_store_record(const store::JRecord& r) {
+    switch (static_cast<JRecKind>(r.kind)) {
+      case JRecKind::kBlock: {
+        if (r.target == 0 || r.target > data_blocks_) return;
+        Ptr<std::uint8_t> dst = data_ + (r.target - 1) * kBlockSize;
+        const std::size_t n =
+            std::min<std::size_t>(r.payload.size(), kBlockSize);
+        for (std::size_t i = 0; i < n; ++i) dst[i] = r.payload[i];
+        break;
+      }
+      case JRecKind::kInode: {
+        if (r.target == 0 || r.target > max_inodes_) return;
+        if (r.payload.size() < sizeof(DiskInode)) return;
+        DiskInode n;
+        std::memcpy(&n, r.payload.data(), sizeof(DiskInode));
+        inodes_[r.target - 1] = n;
+        break;
+      }
+      case JRecKind::kBitmap:
+        if (r.target == 0 || r.target > data_blocks_) return;
+        if (!r.payload.empty()) bitmap_[r.target - 1] = r.payload[0];
+        break;
+      default:
+        break;
+    }
+  }
+
+  /// Fresh image: persist the formatted state (only the root inode's home
+  /// block is nonzero; the image file itself starts zeroed) and
+  /// checkpoint it stable.
+  Result<void> format_store() {
+    pending_home_.insert(0);  // root inode lives at data-region byte 0
+    USK_TRY(flush_home_writes());
+    return store_->checkpoint();
+  }
+
+  /// Existing image: load the checkpointed state from the data region,
+  /// replay the journal's committed prefix on top, write the replayed
+  /// post-images home, and re-checkpoint -- the recovered state becomes
+  /// the new stable image.
+  Result<void> restore_from_store() {
+    std::vector<std::uint8_t> blk(kBlockSize);
+    const std::size_t it_blocks = inode_table_blocks();
+    std::vector<std::uint8_t> table(it_blocks * kBlockSize);
+    for (std::size_t b = 0; b < it_blocks; ++b) {
+      USK_TRY(io_->read_data(static_cast<blockdev::Lba>(b), blk.data()));
+      std::memcpy(table.data() + b * kBlockSize, blk.data(), kBlockSize);
+    }
+    for (std::size_t k = 0; k < max_inodes_; ++k) {
+      DiskInode n;
+      std::memcpy(&n, table.data() + k * sizeof(DiskInode), sizeof(DiskInode));
+      inodes_[k] = n;
+    }
+    for (std::size_t b = 0; b < bitmap_table_blocks(); ++b) {
+      USK_TRY(io_->read_data(static_cast<blockdev::Lba>(it_blocks + b),
+                             blk.data()));
+      const std::size_t lo = b * kBlockSize;
+      const std::size_t n = std::min(kBlockSize, data_blocks_ - lo);
+      for (std::size_t i = 0; i < n; ++i) bitmap_[lo + i] = blk[i];
+    }
+    for (std::size_t b = 0; b < data_blocks_; ++b) {
+      USK_TRY(io_->read_data(static_cast<blockdev::Lba>(fsdata_base() + b),
+                             blk.data()));
+      Ptr<std::uint8_t> dst = data_ + b * kBlockSize;
+      for (std::size_t i = 0; i < kBlockSize; ++i) dst[i] = blk[i];
+    }
+    last_recovery_ =
+        store_->recover([this](const store::JRecord& r, std::uint64_t) {
+          apply_store_record(r);
+          mark_home(static_cast<JRecKind>(r.kind), r.target);
+        });
+    journal_head_ = 0;
+    txn_dirty_ = false;
+    commit_pending_ = false;
+    USK_TRY(flush_home_writes());
+    return store_->checkpoint();
   }
 
   // --- crash-sim internals ---------------------------------------------------
@@ -1080,6 +1363,11 @@ class JournalFs final : public FileSystem {
   std::uint64_t journal_cost_ = 40;
   std::function<void(std::uint64_t)> charge_;
   blockdev::BufferCache* io_ = nullptr;
+  // --- persistent store state (PR-8) ---
+  store::Store* store_ = nullptr;
+  store::JTxn store_txn_{};          ///< redo batch since the last commit
+  std::set<std::size_t> pending_home_;  ///< home LBAs the batch dirties
+  store::Store::RecoveryReport last_recovery_{};
 };
 
 }  // namespace usk::fs

@@ -283,6 +283,15 @@ Result<void> Vfs::fstat(FdTable& fds, int fd, StatBuf* st) {
   return file_fs(fs_, *f).getattr(f->ino, st);
 }
 
+Result<void> Vfs::fsync(FdTable& fds, int fd, bool datasync) {
+  USK_TRACEPOINT("vfs", "fsync", static_cast<std::uint64_t>(fd), datasync);
+  // EBADF-before-work: fd validity is decided before the filesystem is
+  // asked to do anything (same ordering contract as read/write).
+  OpenFile* f = fds.get(fd);
+  if (f == nullptr) return Errno::kEBADF;
+  return file_fs(fs_, *f).fsync(f->ino, datasync);
+}
+
 Result<void> Vfs::stat(std::string_view path, StatBuf* st) {
   USK_TRACE_LATENCY("vfs", "stat");
   USK_TRACEPOINT("vfs", "stat", path.size());

@@ -100,6 +100,9 @@ class Vfs {
   Result<std::uint64_t> lseek(FdTable& fds, int fd, std::int64_t off,
                               int whence);
   Result<void> fstat(FdTable& fds, int fd, StatBuf* st);
+  /// fsync(2)/fdatasync(2) on an open fd. EBADF is decided before any
+  /// filesystem work (the gateway's EBADF-before-work ordering).
+  Result<void> fsync(FdTable& fds, int fd, bool datasync);
   Result<void> stat(std::string_view path, StatBuf* st);
   Result<std::vector<DirEntry>> readdir_fd(FdTable& fds, int fd);
   /// Windowed listing for getdents-style resumable reads.

@@ -95,16 +95,17 @@ std::string Supervisor::format_quotas() const {
   std::string out;
   appendf(out,
           "# id name inv_units window_units inv_kmalloc inv_fds inv_fuel "
-          "units_total window_used\n");
+          "inv_dirty units_total window_used\n");
   int id = 0;
   for (const Row& r : rows) {
-    appendf(out, "%d %s %llu %llu %llu %u %llu %llu %llu\n", id++,
+    appendf(out, "%d %s %llu %llu %llu %u %llu %llu %llu %llu\n", id++,
             r.name.c_str(),
             static_cast<unsigned long long>(r.q.invocation_units),
             static_cast<unsigned long long>(r.q.window_units),
             static_cast<unsigned long long>(r.q.invocation_kmalloc),
             r.q.invocation_fds,
             static_cast<unsigned long long>(r.q.invocation_fuel),
+            static_cast<unsigned long long>(r.q.invocation_dirty),
             static_cast<unsigned long long>(r.units_total),
             static_cast<unsigned long long>(r.window_units));
   }

@@ -5,6 +5,7 @@
 #include <cstdlib>
 
 #include "base/klog.hpp"
+#include "blockdev/buffer_cache.hpp"
 #include "fault/kfail.hpp"
 #include "sup/slo.hpp"
 #include "trace/ktrace.hpp"
@@ -73,6 +74,7 @@ const char* violation_name(ViolationKind k) {
     case ViolationKind::kQuotaKmalloc: return "quota-kmalloc";
     case ViolationKind::kQuotaFds: return "quota-fds";
     case ViolationKind::kQuotaFuel: return "quota-fuel";
+    case ViolationKind::kQuotaDirty: return "quota-dirty";
     case ViolationKind::kFaultInjected: return "fault-injected";
     case ViolationKind::kProbeFailure: return "probe-failure";
     case ViolationKind::kMonitorAnomaly: return "monitor-anomaly";
@@ -168,6 +170,18 @@ bool InvocationGuard::charge_kmalloc(std::uint64_t bytes) {
   return true;
 }
 
+bool InvocationGuard::charge_dirty_pages(std::uint64_t blocks) {
+  dirty_used_ += blocks;
+  const Quota q = s_.quota(id_);
+  if (q.invocation_dirty != 0 && dirty_used_ > q.invocation_dirty) {
+    if (forced_kind_ == ViolationKind::kNone) {
+      forced_kind_ = ViolationKind::kQuotaDirty;
+    }
+    return false;
+  }
+  return true;
+}
+
 bool InvocationGuard::check_fds(std::size_t open_count) {
   const Quota q = s_.quota(id_);
   if (q.invocation_fds != 0 && open_count > q.invocation_fds) {
@@ -202,6 +216,7 @@ Supervisor::Supervisor(uk::Kernel& k) : k_(k) {
   }
   g_gateway_owner.store(this, std::memory_order_release);
   uk::set_sup_gateway(&Supervisor::gateway_thunk, this);
+  blockdev::set_dirty_gate(&Supervisor::dirty_gate_thunk, this);
 }
 
 Supervisor::~Supervisor() {
@@ -209,7 +224,18 @@ Supervisor::~Supervisor() {
   if (g_gateway_owner.compare_exchange_strong(self, nullptr,
                                               std::memory_order_acq_rel)) {
     uk::set_sup_gateway(nullptr, nullptr);
+    blockdev::set_dirty_gate(nullptr, nullptr);
   }
+}
+
+Result<void> Supervisor::dirty_gate_thunk(void* /*ctx*/,
+                                          std::uint64_t blocks) {
+  InvocationGuard* g = InvocationGuard::current();
+  // No supervised invocation on this thread (or a fallback run, which is
+  // classic user-space code): the dirtying is the kernel's own.
+  if (g == nullptr || g->route() == Route::kFallback) return {};
+  if (!g->charge_dirty_pages(blocks)) return Errno::kEDQUOT;
+  return {};
 }
 
 ExtId Supervisor::register_extension(std::string name, Vehicle vehicle,
@@ -541,7 +567,9 @@ void Supervisor::record_violation_locked(Ext& e, ExtId id,
       kind == ViolationKind::kQuotaUnits ||
       kind == ViolationKind::kQuotaWindow ||
       kind == ViolationKind::kQuotaKmalloc ||
-      kind == ViolationKind::kQuotaFds || kind == ViolationKind::kQuotaFuel;
+      kind == ViolationKind::kQuotaFds ||
+      kind == ViolationKind::kQuotaFuel ||
+      kind == ViolationKind::kQuotaDirty;
   if (quota) ++e.stats.quota_overruns;
   push_event_locked(e, id,
                     quota ? EventKind::kQuotaOverrun : EventKind::kViolation,

@@ -74,6 +74,7 @@ enum class ViolationKind {
   kQuotaKmalloc,    ///< per-invocation kmalloc-byte cap exceeded
   kQuotaFds,        ///< per-invocation open-fd cap exceeded
   kQuotaFuel,       ///< per-invocation Cosy VM fuel cap exceeded
+  kQuotaDirty,      ///< per-invocation dirty-page budget exceeded
   kFaultInjected,   ///< kfail-class errno (EINTR/EIO/ECONNRESET/ENOMEM...)
   kProbeFailure,    ///< re-admission probe failed
   kMonitorAnomaly,  ///< rule monitor flagged as noisy/wrong
@@ -89,6 +90,7 @@ struct Quota {
   std::uint64_t invocation_kmalloc = 0;  ///< kmalloc bytes per invocation
   std::uint32_t invocation_fds = 0;      ///< fds held open at once
   std::uint64_t invocation_fuel = 0;     ///< Cosy ops + VM instructions
+  std::uint64_t invocation_dirty = 0;    ///< page-cache blocks dirtied
 };
 
 /// Circuit-breaker tuning. Overridable per process with USK_SUP_SPEC
@@ -170,6 +172,11 @@ class InvocationGuard {
   /// reported as the violation kind.
   [[nodiscard]] bool charge_fuel(std::uint64_t n);
   [[nodiscard]] bool charge_kmalloc(std::uint64_t bytes);
+  /// Dirty-page budget: fed by the buffer cache's dirty gate (the
+  /// supervisor registers blockdev::set_dirty_gate) on every clean->dirty
+  /// transition the invocation causes. A false return fails the write
+  /// with EDQUOT before any cache state changes.
+  [[nodiscard]] bool charge_dirty_pages(std::uint64_t blocks);
   [[nodiscard]] bool check_fds(std::size_t open_count);
   /// Straight-line work-unit check (loops are caught by the narrowed
   /// kernel budget at preemption points; this catches code that never
@@ -205,6 +212,7 @@ class InvocationGuard {
   bool narrowed_ = false;
   std::uint64_t fuel_used_ = 0;
   std::uint64_t kmalloc_used_ = 0;
+  std::uint64_t dirty_used_ = 0;
   ViolationKind forced_kind_ = ViolationKind::kNone;
 };
 
@@ -290,6 +298,8 @@ class Supervisor {
   /// the invocation bound to this thread, if any.
   static void gateway_thunk(void* ctx, uk::Process& p, uk::Sys nr,
                             SysRet ret, std::uint64_t units);
+  /// blockdev::DirtyGateFn: charge the innermost guard's dirty budget.
+  static Result<void> dirty_gate_thunk(void* ctx, std::uint64_t blocks);
   void attribute(ExtId id, std::uint64_t units);
 
   /// Classify a finished invocation's result for `vehicle`.

@@ -22,6 +22,8 @@ const char* sys_name(Sys nr) {
     case Sys::kLink: return "link";
     case Sys::kChmod: return "chmod";
     case Sys::kDup: return "dup";
+    case Sys::kFsync: return "fsync";
+    case Sys::kFdatasync: return "fdatasync";
     case Sys::kReaddirPlus: return "readdirplus";
     case Sys::kOpenReadClose: return "open_read_close";
     case Sys::kOpenWriteClose: return "open_write_close";

@@ -38,6 +38,8 @@ enum class Sys : std::uint16_t {
   kLink = 16,
   kChmod = 17,
   kDup = 18,
+  kFsync = 19,
+  kFdatasync = 20,
   // Consolidated calls:
   kReaddirPlus = 32,
   kOpenReadClose = 33,

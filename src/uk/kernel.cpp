@@ -154,6 +154,8 @@ const Kernel::HandlerTable& Kernel::handlers() {
     set(Sys::kTruncate, &Kernel::do_truncate);
     set(Sys::kGetpid, &Kernel::do_getpid);
     set(Sys::kSync, &Kernel::do_sync);
+    set(Sys::kFsync, &Kernel::do_fsync);
+    set(Sys::kFdatasync, &Kernel::do_fdatasync);
     set(Sys::kLink, &Kernel::do_link);
     set(Sys::kChmod, &Kernel::do_chmod);
     return t;
@@ -259,6 +261,12 @@ SysRet Kernel::sys_truncate(Process& p, const char* upath,
 }
 SysRet Kernel::sys_getpid(Process& p) { return syscall(p, Sys::kGetpid); }
 SysRet Kernel::sys_sync(Process& p) { return syscall(p, Sys::kSync); }
+SysRet Kernel::sys_fsync(Process& p, int fd) {
+  return syscall(p, Sys::kFsync, {static_cast<std::uint64_t>(fd)});
+}
+SysRet Kernel::sys_fdatasync(Process& p, int fd) {
+  return syscall(p, Sys::kFdatasync, {static_cast<std::uint64_t>(fd)});
+}
 SysRet Kernel::sys_link(Process& p, const char* ufrom, const char* uto) {
   return syscall(p, Sys::kLink, {uarg(ufrom), uarg(uto), 0, 0});
 }
@@ -483,6 +491,18 @@ SysRet Kernel::do_getpid(Process& p, const SysArgs& /*a*/) {
 
 SysRet Kernel::do_sync(Process& /*p*/, const SysArgs& /*a*/) {
   Result<void> r = vfs_.filesystem().sync();
+  return r.ok() ? 0 : sysret_err(r.error());
+}
+
+SysRet Kernel::do_fsync(Process& p, const SysArgs& a) {
+  Result<void> r = vfs_.fsync(p.fds, static_cast<int>(a.a0),
+                              /*datasync=*/false);
+  return r.ok() ? 0 : sysret_err(r.error());
+}
+
+SysRet Kernel::do_fdatasync(Process& p, const SysArgs& a) {
+  Result<void> r = vfs_.fsync(p.fds, static_cast<int>(a.a0),
+                              /*datasync=*/true);
   return r.ok() ? 0 : sysret_err(r.error());
 }
 

@@ -228,6 +228,8 @@ class Kernel {
   SysRet sys_truncate(Process& p, const char* upath, std::uint64_t size);
   SysRet sys_getpid(Process& p);
   SysRet sys_sync(Process& p);
+  SysRet sys_fsync(Process& p, int fd);
+  SysRet sys_fdatasync(Process& p, int fd);
   SysRet sys_link(Process& p, const char* ufrom, const char* uto);
   SysRet sys_chmod(Process& p, const char* upath, std::uint32_t mode);
 
@@ -264,6 +266,8 @@ class Kernel {
   SysRet do_truncate(Process& p, const SysArgs& a);
   SysRet do_getpid(Process& p, const SysArgs& a);
   SysRet do_sync(Process& p, const SysArgs& a);
+  SysRet do_fsync(Process& p, const SysArgs& a);
+  SysRet do_fdatasync(Process& p, const SysArgs& a);
   SysRet do_link(Process& p, const SysArgs& a);
   SysRet do_chmod(Process& p, const SysArgs& a);
 

@@ -346,4 +346,128 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
       });
 }
 
+void register_storage_proc(fs::ProcFs& pfs, store::Store* store,
+                           blockdev::BufferCache* cache) {
+  if (cache != nullptr) {
+    pfs.add_file("/blockdev/cache", [cache] {
+      const blockdev::CacheStats s = cache->stats();
+      std::string out;
+      appendf(out,
+              "lookups %" PRIu64 "\nhits %" PRIu64 "\nmisses %" PRIu64 "\n",
+              s.lookups, s.hits, s.misses);
+      appendf(out, "hit_rate_pct %" PRIu64 "\n",
+              static_cast<std::uint64_t>(s.hit_rate() * 100.0));
+      appendf(out,
+              "writebacks %" PRIu64 "\nbg_writebacks %" PRIu64
+              "\nevictions %" PRIu64 "\ngate_rejects %" PRIu64 "\n",
+              s.writebacks, s.bg_writebacks, s.evictions, s.gate_rejects);
+      appendf(out, "cached %zu\ndirty %zu\ncapacity %zu\nflusher %d\n",
+              cache->size(), cache->dirty_count(), cache->capacity(),
+              cache->writeback_running() ? 1 : 0);
+      return out;
+    });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_hits", "buffer cache lookup hits", {},
+        [cache] { return static_cast<std::int64_t>(cache->stats().hits); });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_misses", "buffer cache lookup misses", {},
+        [cache] { return static_cast<std::int64_t>(cache->stats().misses); });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_writebacks", "dirty blocks written back", {}, [cache] {
+          return static_cast<std::int64_t>(cache->stats().writebacks);
+        });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_bg_writebacks", "writebacks by the flusher thread", {},
+        [cache] {
+          return static_cast<std::int64_t>(cache->stats().bg_writebacks);
+        });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_dirty_blocks", "currently dirty cached blocks", {},
+        [cache] { return static_cast<std::int64_t>(cache->dirty_count()); });
+    metrics::kmetrics().gauge_fn(
+        "usk_cache_gate_rejects", "writes refused by the dirty gate", {},
+        [cache] {
+          return static_cast<std::int64_t>(cache->stats().gate_rejects);
+        });
+  }
+  if (store == nullptr) return;
+
+  pfs.add_file("/store/stats", [store] {
+    const store::StoreStats ss = store->stats();
+    const store::ImageStats is = store->image().stats();
+    std::string out;
+    appendf(out,
+            "checkpoints %" PRIu64 "\nenospc_retries %" PRIu64
+            "\nrecoveries %" PRIu64 "\nstable_seq %" PRIu64 "\n",
+            ss.checkpoints, ss.enospc_retries, ss.recoveries,
+            store->stable_seq());
+    appendf(out,
+            "image_preads %" PRIu64 "\nimage_pwrites %" PRIu64
+            "\nimage_fsyncs %" PRIu64 "\n",
+            is.preads, is.pwrites, is.fsyncs);
+    appendf(out, "image_bytes_read %" PRIu64 "\nimage_bytes_written %" PRIu64 "\n",
+            is.bytes_read, is.bytes_written);
+    appendf(out, "short_writes %" PRIu64 "\nfsync_failures %" PRIu64 "\n",
+            is.short_writes, is.fsync_failures);
+    return out;
+  });
+
+  pfs.add_file("/store/journal", [store] {
+    std::string out;
+    store::GroupCommitJournal* j = store->journal();
+    if (j == nullptr) return std::string("no journal\n");
+    const store::JournalStats s = j->stats();
+    appendf(out,
+            "txns_committed %" PRIu64 "\ncommit_units %" PRIu64
+            "\nrecords_written %" PRIu64 "\nbytes_written %" PRIu64 "\n",
+            s.txns_committed, s.commit_units, s.records_written,
+            s.bytes_written);
+    appendf(out,
+            "max_batch_txns %" PRIu64 "\ntorn_headers %" PRIu64
+            "\nresets %" PRIu64 "\n",
+            s.max_batch_txns, s.torn_headers, s.resets);
+    appendf(out, "txns_per_flush_x100 %" PRIu64 "\n",
+            static_cast<std::uint64_t>(s.txns_per_flush() * 100.0));
+    appendf(out, "tail_bytes %" PRIu64 "\nregion_bytes %" PRIu64 "\n",
+            j->tail_bytes(), j->region_bytes());
+    return out;
+  });
+
+  metrics::kmetrics().gauge_fn(
+      "usk_store_checkpoints", "store checkpoints completed", {},
+      [store] { return static_cast<std::int64_t>(store->stats().checkpoints); });
+  metrics::kmetrics().gauge_fn(
+      "usk_store_stable_seq", "last checkpointed commit-unit seq", {},
+      [store] { return static_cast<std::int64_t>(store->stable_seq()); });
+  metrics::kmetrics().gauge_fn(
+      "usk_store_image_fsyncs", "backing-image fsync calls", {}, [store] {
+        return static_cast<std::int64_t>(store->image().stats().fsyncs);
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_journal_commit_units", "group-commit units written (fsyncs)", {},
+      [store] {
+        store::GroupCommitJournal* j = store->journal();
+        return j != nullptr
+                   ? static_cast<std::int64_t>(j->stats().commit_units)
+                   : 0;
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_journal_txns_committed", "transactions made durable", {},
+      [store] {
+        store::GroupCommitJournal* j = store->journal();
+        return j != nullptr
+                   ? static_cast<std::int64_t>(j->stats().txns_committed)
+                   : 0;
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_journal_txns_per_flush_x100",
+      "group-commit amortization (txns per fsync, x100)", {}, [store] {
+        store::GroupCommitJournal* j = store->journal();
+        return j != nullptr
+                   ? static_cast<std::int64_t>(j->stats().txns_per_flush() *
+                                               100.0)
+                   : 0;
+      });
+}
+
 }  // namespace usk::uk

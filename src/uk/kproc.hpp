@@ -17,7 +17,9 @@
 // registered against; Kernel::mount_procfs() grafts the result at /proc.
 #pragma once
 
+#include "blockdev/buffer_cache.hpp"
 #include "fs/procfs.hpp"
+#include "store/store.hpp"
 
 namespace usk::uk {
 
@@ -26,5 +28,18 @@ class Kernel;
 /// Populate `pfs` with the standard kernel proc tree backed by `k`.
 /// Both must outlive the filesystem's readers.
 void register_kernel_proc(Kernel& k, fs::ProcFs& pfs);
+
+/// Storage-tier proc tree (PR-8), for kernels with a persistent store:
+///
+///   /blockdev/cache   page-cache counters: hits, misses, writebacks,
+///                     dirty count, gate rejects, hit rate
+///   /store/stats      store + backing-image counters, stable seq
+///   /store/journal    group-commit journal counters, txns/flush, tail
+///
+/// Also bridges the same counters into kmetrics as gauges (usk_cache_*,
+/// usk_store_*, usk_journal_*). `store` may be null (cache-only setups
+/// register /blockdev/cache alone). Pointers must outlive the readers.
+void register_storage_proc(fs::ProcFs& pfs, store::Store* store,
+                           blockdev::BufferCache* cache);
 
 }  // namespace usk::uk

@@ -68,6 +68,8 @@ class Proc {
   }
   SysRet getpid() { return k_.sys_getpid(p_); }
   SysRet sync() { return k_.sys_sync(p_); }
+  SysRet fsync(int fd) { return k_.sys_fsync(p_, fd); }
+  SysRet fdatasync(int fd) { return k_.sys_fdatasync(p_, fd); }
   SysRet link(const char* from, const char* to) {
     return k_.sys_link(p_, from, to);
   }

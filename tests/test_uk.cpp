@@ -92,6 +92,92 @@ TEST_F(KernelTest, WriteBadFdFailsBeforeCopyIn) {
   proc_.close(fd);
 }
 
+/// Delegating filesystem that counts sync/fsync arrivals -- the
+/// observation point for EBADF-before-work on the fsync syscalls.
+class FsyncCountingFs final : public fs::FileSystem {
+ public:
+  [[nodiscard]] fs::InodeNum root() const override { return inner_.root(); }
+  [[nodiscard]] const char* fstype() const override { return "countfs"; }
+  Result<fs::InodeNum> lookup(fs::InodeNum d, std::string_view n) override {
+    return inner_.lookup(d, n);
+  }
+  Result<fs::InodeNum> create(fs::InodeNum d, std::string_view n,
+                              fs::FileType t, std::uint32_t m) override {
+    return inner_.create(d, n, t, m);
+  }
+  Result<void> unlink(fs::InodeNum d, std::string_view n) override {
+    return inner_.unlink(d, n);
+  }
+  Result<void> rmdir(fs::InodeNum d, std::string_view n) override {
+    return inner_.rmdir(d, n);
+  }
+  Result<void> rename(fs::InodeNum sd, std::string_view sn, fs::InodeNum dd,
+                      std::string_view dn) override {
+    return inner_.rename(sd, sn, dd, dn);
+  }
+  Result<std::size_t> read(fs::InodeNum i, std::uint64_t off,
+                           std::span<std::byte> out) override {
+    return inner_.read(i, off, out);
+  }
+  Result<std::size_t> write(fs::InodeNum i, std::uint64_t off,
+                            std::span<const std::byte> in) override {
+    return inner_.write(i, off, in);
+  }
+  Result<void> truncate(fs::InodeNum i, std::uint64_t s) override {
+    return inner_.truncate(i, s);
+  }
+  Result<void> getattr(fs::InodeNum i, fs::StatBuf* st) override {
+    return inner_.getattr(i, st);
+  }
+  Result<std::vector<fs::DirEntry>> readdir(fs::InodeNum d) override {
+    return inner_.readdir(d);
+  }
+  Result<void> sync() override {
+    ++syncs;
+    return inner_.sync();
+  }
+  Result<void> fsync(fs::InodeNum ino, bool datasync) override {
+    ++fsyncs;
+    last_datasync = datasync;
+    return inner_.fsync(ino, datasync);
+  }
+
+  int syncs = 0;
+  int fsyncs = 0;
+  bool last_datasync = false;
+
+ private:
+  fs::MemFs inner_;
+};
+
+TEST(FsyncSyscallTest, BadFdFailsBeforeAnyFilesystemWork) {
+  FsyncCountingFs cfs;
+  Kernel kernel(cfs);
+  Proc proc(kernel, "fsync-proc");
+
+  // EBADF must be decided before the filesystem sees anything: no fsync,
+  // and no degradation to a whole-filesystem sync either.
+  EXPECT_EQ(proc.fsync(42), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(proc.fdatasync(-1), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(cfs.fsyncs, 0);
+  EXPECT_EQ(cfs.syncs, 0);
+
+  int fd = proc.open("/durable.txt", fs::kOWrOnly | fs::kOCreat);
+  ASSERT_GE(fd, 0);
+  ASSERT_EQ(proc.write(fd, "abc", 3), 3);
+  EXPECT_EQ(proc.fsync(fd), 0);
+  EXPECT_EQ(cfs.fsyncs, 1);
+  EXPECT_FALSE(cfs.last_datasync);
+  EXPECT_EQ(proc.fdatasync(fd), 0);
+  EXPECT_EQ(cfs.fsyncs, 2);
+  EXPECT_TRUE(cfs.last_datasync);
+  proc.close(fd);
+
+  // A closed descriptor is a bad descriptor again.
+  EXPECT_EQ(proc.fsync(fd), sysret_err(Errno::kEBADF));
+  EXPECT_EQ(cfs.fsyncs, 2);
+}
+
 TEST_F(KernelTest, DupCopiesDescriptor) {
   int fd = proc_.open("/d.txt", fs::kOWrOnly | fs::kOCreat);
   ASSERT_GE(fd, 0);

@@ -9,9 +9,11 @@
 // trace subsystem is switched on by writing to /proc/trace/enable, again
 // through the ordinary write(2) path.
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "blockdev/buffer_cache.hpp"
@@ -264,6 +266,48 @@ void render_frame(uk::Proc& p, int frame) {
   }
 }
 
+/// Scheduler panel feed: run a short pooled-dispatch burst on the
+/// kernel's own scheduler -- tasks skewed onto two home runqueues, four
+/// worker threads draining with pick_next (so stealing shows up) -- plus
+/// one park/wake round trip, so /proc/sched/runqueues has live numbers.
+void sched_workload(uk::Kernel& kernel) {
+  sched::Scheduler& s = kernel.scheduler();
+  std::vector<sched::Task*> tasks;
+  for (int i = 0; i < 64; ++i) {
+    sched::Task& t = s.spawn("pool" + std::to_string(i));
+    s.bind(t, static_cast<std::size_t>(i % 2));
+    tasks.push_back(&t);
+    s.enqueue(t);
+  }
+  std::atomic<int> picked{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w) {
+    workers.emplace_back([&] {
+      while (picked.load(std::memory_order_relaxed) <
+             static_cast<int>(tasks.size())) {
+        if (s.pick_next() == nullptr) {
+          std::this_thread::yield();
+          continue;
+        }
+        picked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+
+  sched::WaitQueue wq;
+  std::atomic<bool> armed{false};
+  std::thread sleeper([&] {
+    s.enter(s.spawn("parker"));
+    sched::WaitQueue::Token tok = wq.prepare();
+    armed.store(true);
+    (void)s.block(wq, tok);
+  });
+  while (!armed.load()) std::this_thread::yield();
+  wq.wake_all();  // the token predates this wake, so the park always ends
+  sleeper.join();
+}
+
 }  // namespace
 
 int main() {
@@ -344,6 +388,16 @@ int main() {
     store.close();
   }
   std::remove("ktop_store.img");
+
+  // Scheduler panel: per-CPU runqueue depths, steal/migration counters,
+  // and the park/wake ledger, fed by a pooled-dispatch burst on the
+  // kernel's own scheduler and read back through /proc/sched/**.
+  sched_workload(kernel);
+  std::printf("\nper-CPU runqueues (/proc/sched/runqueues):\n%s",
+              head_lines(read_proc_file(top, "/proc/sched/runqueues"), 10)
+                  .c_str());
+  std::printf("\nscheduler counters (/proc/sched/stats):\n%s",
+              read_proc_file(top, "/proc/sched/stats").c_str());
 
   // Spans + SLO panel: the frame spans collected above, one extension
   // driven through a sustained latency burn, and the Prometheus scrape --

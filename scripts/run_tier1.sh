@@ -23,18 +23,26 @@
 #           oracle sweep (label `storage`), then bench_storage --quick
 #           gated by the group-commit amortization (>= 3 txns/flush at 8
 #           writers) and PostMark persistence (<= 1.10x) budgets
+#   sched   the scheduler-dependent suites (everything blocking through
+#           the WaitQueue park/wake path) re-run with transient injection
+#           at the sites feeding those paths (label `sched`), then
+#           bench_smp_scaling --quick gated by the PR-9 budgets: >= 6x
+#           syscall throughput at 8 vCPUs (sharded+percpu vs the paper's
+#           single-lock kernel), work stealing live (>= 1 steal), the
+#           watchdog still killing a runaway task, and ZERO park timeouts
+#           (all wakeups event-driven; no interval re-polling anywhere)
 #   asan    the fault soak again under AddressSanitizer, proving the
 #           injected error paths free everything they unwind past
 #   ubsan   the fault + sup soaks under UndefinedBehaviorSanitizer
 #           (halt_on_error: any UB report is a red run)
 #
-# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|storage|asan|
-#                              ubsan|tsan|all]          (default: all)
+# Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|storage|sched|
+#                              asan|ubsan|tsan|all]     (default: all)
 #
-# Build trees: build/ (plain + faults + sup + ring + obs + storage),
-# build-asan/, build-ubsan/, build-tsan/. TSan is optional (heavyweight);
-# `all` runs plain+faults+sup+ring+obs+storage+asan+ubsan, matching the
-# checked-in acceptance gates.
+# Build trees: build/ (plain + faults + sup + ring + obs + storage +
+# sched), build-asan/, build-ubsan/, build-tsan/. TSan is optional
+# (heavyweight); `all` runs plain+faults+sup+ring+obs+storage+sched+
+# asan+ubsan, matching the checked-in acceptance gates.
 # Fails fast: the first red suite stops the script with a nonzero exit.
 set -euo pipefail
 
@@ -78,6 +86,17 @@ run_storage(){ build build; (cd build && ctest -L storage -j "$jobs" --output-on
                  --expect-max 'bench_storage:postmark-store-slowdown-x100:110' \
                  "$json"
                rm -f "$json"; }
+run_sched()  { build build; (cd build && ctest -L sched -j "$jobs" --output-on-failure);
+               local json; json="$(mktemp)"
+               USK_BENCH_JSON="$json" ./build/bench/bench_smp_scaling --quick
+               python3 scripts/check_bench_json.py \
+                 --expect bench_smp_scaling \
+                 --expect-min 'bench_smp_scaling:smp-speedup-8t-x100:600' \
+                 --expect-min 'bench_smp_scaling:rq-steals-8t:1' \
+                 --expect-min 'bench_smp_scaling:watchdog-kills-runaway:1' \
+                 --expect-max 'bench_smp_scaling:park-timeout-wakeups:0' \
+                 "$json"
+               rm -f "$json"; }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
 run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
@@ -94,10 +113,11 @@ case "$mode" in
   ring)   run_ring ;;
   obs)    run_obs ;;
   storage) run_storage ;;
+  sched)  run_sched ;;
   asan)   run_asan ;;
   ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_storage; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [plain|faults|sup|ring|obs|storage|asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_storage; run_sched; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|ring|obs|storage|sched|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

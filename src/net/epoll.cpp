@@ -1,11 +1,14 @@
 // epoll_create / epoll_ctl / epoll_wait: the readiness multiplexer.
 //
 // Level-triggered by design: epoll_wait re-derives readiness from socket
-// state on every call (the ready_ set is only a wakeup hint), so an fd
-// whose queue still holds bytes is reported again on the next wait. The
-// scan copies the watch list under the epoll lock, then inspects each
-// socket under its own lock -- honouring the socket -> epoll lock order
-// by never touching a socket while the epoll lock is held.
+// state on every call, so an fd whose queue still holds bytes is
+// reported again on the next wait. The scan copies the watch list under
+// the epoll lock, then inspects each socket under its own lock --
+// honouring the socket -> epoll lock order by never touching a socket
+// while the epoll lock is held. Parking is event-driven: the waiter
+// takes its WaitQueue token before the scan, so any signal() that lands
+// during the scan voids the park and forces a rescan; the only timed
+// wait is the caller's own timeout_ms.
 
 #include <algorithm>
 #include <chrono>
@@ -74,18 +77,23 @@ SysRet Net::sys_epoll_ctl(uk::Process& p, int epfd, int op, int fd,
           return scope.fail(Errno::kEEXIST);
         }
         ep.entries_[fd] = Epoll::Entry{s, events};
-        ep.ready_.insert(fd);  // seed: first wait verifies real readiness
       }
-      std::lock_guard slk(s->mu_);
-      s->watchers_.emplace_back(rep.value(), fd);
+      {
+        std::lock_guard slk(s->mu_);
+        s->watchers_.emplace_back(rep.value(), fd);
+      }
+      // A parked wait must rescan: the new fd may already be ready.
+      ep.signal();
       return scope.done(0);
     }
     case kEpollCtlMod: {
-      std::lock_guard elk(ep.mu_);
-      auto it = ep.entries_.find(fd);
-      if (it == ep.entries_.end()) return scope.fail(Errno::kENOENT);
-      it->second.events = events;
-      ep.ready_.insert(fd);
+      {
+        std::lock_guard elk(ep.mu_);
+        auto it = ep.entries_.find(fd);
+        if (it == ep.entries_.end()) return scope.fail(Errno::kENOENT);
+        it->second.events = events;
+      }
+      ep.signal();  // the widened mask may match already-pending state
       return scope.done(0);
     }
     case kEpollCtlDel: {
@@ -123,6 +131,11 @@ SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
 
   std::vector<EpollEvent> out;
   for (;;) {
+    // 0. Token first: a signal() from any watched socket between here
+    // and the park voids the park, so readiness rising mid-scan is never
+    // slept through.
+    const sched::WaitQueue::Token tok = ep.wq_.prepare();
+
     // 1. Snapshot the watch list (epoll lock only).
     struct Cand {
       int fd;
@@ -136,7 +149,6 @@ SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
       for (const auto& [fd, e] : ep.entries_) {
         cands.push_back(Cand{fd, e.sock, e.events});
       }
-      ep.ready_.clear();  // hints consumed; the scan below is the truth
     }
 
     // 2. Check each socket under its own lock (level-triggered re-arm).
@@ -167,16 +179,12 @@ SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
     if (!out.empty()) break;
     if (!forever && (timeout_ms == 0 || clock::now() >= deadline)) break;
 
-    // 4. Park until a socket signals (or the next poll slice).
-    {
-      sched::Task* t = k_.scheduler().current();
-      if (t != nullptr && !k_.scheduler().schedule_out(*t)) {
-        return scope.fail(Errno::kEINTR);
-      }
-      std::unique_lock elk(ep.mu_);
-      if (ep.ready_.empty()) {
-        ep.cv_.wait_for(elk, std::chrono::microseconds(200));
-      }
+    // 4. Park until a socket signals or the caller's deadline passes
+    // (the watchdog runs at the park, as at every schedule-out).
+    sched::WaitQueue::Wait w =
+        k_.scheduler().block(ep.wq_, tok, forever ? nullptr : &deadline);
+    if (w == sched::WaitQueue::Wait::kKilled) {
+      return scope.fail(Errno::kEINTR);
     }
   }
 

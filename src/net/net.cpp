@@ -26,11 +26,6 @@ namespace {
 /// Sentinel fs_id for descriptors owned by SocketFs: sockets never take
 /// part in path-walk or mount bookkeeping, which is all fs_id is for.
 constexpr std::uint32_t kSockFsId = 0xFFFFFFFFu;
-
-/// How long a parked task sleeps between readiness re-checks. Readiness
-/// signals (cv notifies) cut the latency; the periodic re-check makes a
-/// missed wakeup a performance bug, never a hang.
-constexpr auto kParkSlice = std::chrono::microseconds(200);
 }  // namespace
 
 Net::Net(uk::Kernel& k, NetCosts costs)
@@ -52,22 +47,24 @@ NetStats Net::stats() const {
 }
 
 template <typename Pred>
-Errno Net::block_on(std::unique_lock<std::mutex>& lk,
-                    std::condition_variable& cv, Pred&& pred) {
-  while (!pred()) {
+Errno Net::block_on(std::unique_lock<std::mutex>& lk, sched::WaitQueue& wq,
+                    Pred&& pred) {
+  for (;;) {
+    // Token before predicate, both under lk: every waker mutates the
+    // predicate's state under lk before waking, so a wake posted after
+    // this snapshot means the predicate may have changed and the park
+    // returns immediately. No readiness re-poll interval exists.
+    sched::WaitQueue::Token tok = wq.prepare();
+    if (pred()) return Errno::kOk;
+    lk.unlock();
     // Park = schedule out: the watchdog runs here, so a task blocked on a
     // socket that will never become ready is killed by the same kernel
     // budget policy as any runaway in-kernel loop (paper §3: user code in
     // the kernel must stay preemptible and killable even when it waits).
-    lk.unlock();
-    sched::Task* t = k_.scheduler().current();
-    bool alive = t == nullptr || k_.scheduler().schedule_out(*t);
+    sched::WaitQueue::Wait w = k_.scheduler().block(wq, tok);
     lk.lock();
-    if (!alive) return Errno::kEINTR;
-    if (pred()) break;
-    cv.wait_for(lk, kParkSlice);
+    if (w == sched::WaitQueue::Wait::kKilled) return Errno::kEINTR;
   }
-  return Errno::kOk;
 }
 
 std::shared_ptr<Socket> Net::make_socket(bool nonblock) {
@@ -114,7 +111,7 @@ Result<int> Net::install_fd(uk::Process& p, const std::shared_ptr<Socket>& s) {
 
 void Net::notify_watchers_locked(Socket& s) {
   for (auto& [wep, userfd] : s.watchers_) {
-    if (std::shared_ptr<Epoll> ep = wep.lock()) ep->signal(userfd);
+    if (std::shared_ptr<Epoll> ep = wep.lock()) ep->signal();
   }
 }
 
@@ -221,7 +218,7 @@ SysRet Net::sys_connect(uk::Process& p, int fd, std::uint16_t port) {
         drop_socket(srv);
         return scope.fail(Errno::kEAGAIN);
       }
-      Errno be = block_on(llk, lsn->cv_, [&] {
+      Errno be = block_on(llk, lsn->wq_, [&] {
         return lsn->state_ != SockState::kListening ||
                lsn->accept_q_.size() <
                    static_cast<std::size_t>(lsn->backlog_);
@@ -237,7 +234,7 @@ SysRet Net::sys_connect(uk::Process& p, int fd, std::uint16_t port) {
     }
     lsn->accept_q_.push_back(srv);
     notify_watchers_locked(*lsn);
-    lsn->cv_.notify_all();
+    lsn->wq_.wake_all();
   }
 
   {
@@ -259,7 +256,7 @@ Result<int> Net::accept_pop(uk::Process& p, Socket& ls) {
     if (ls.state_ != SockState::kListening) return Errno::kEINVAL;
     if (ls.accept_q_.empty()) {
       if (ls.nonblock_) return Errno::kEAGAIN;
-      Errno be = block_on(llk, ls.cv_, [&] {
+      Errno be = block_on(llk, ls.wq_, [&] {
         return !ls.accept_q_.empty() ||
                ls.state_ != SockState::kListening;
       });
@@ -268,7 +265,7 @@ Result<int> Net::accept_pop(uk::Process& p, Socket& ls) {
     }
     conn = ls.accept_q_.front();
     ls.accept_q_.pop_front();
-    ls.cv_.notify_all();  // a connect parked on a full backlog
+    ls.wq_.wake_all();  // a connect parked on a full backlog
   }
   charge(costs_.accept_setup);
   Result<int> fd = install_fd(p, conn);
@@ -338,7 +335,7 @@ Result<std::size_t> Net::send_from(Socket& s,
           if (sent > 0) break;
           return Errno::kEAGAIN;
         }
-        Errno be = block_on(plk, peer->cv_, [&] {
+        Errno be = block_on(plk, peer->wq_, [&] {
           return peer->rx_.free_space() > 0 ||
                  peer->state_ == SockState::kClosed || peer->rd_shutdown_;
         });
@@ -349,7 +346,7 @@ Result<std::size_t> Net::send_from(Socket& s,
       peer->bytes_rx_ += pushed;
       peer->pkts_rx_ += (pushed + costs_.mtu - 1) / costs_.mtu;
       notify_watchers_locked(*peer);  // socket -> epoll lock order
-      peer->cv_.notify_all();
+      peer->wq_.wake_all();
     }
     // The modelled wire: per-packet protocol work + per-KiB data work.
     std::uint64_t pkts = (pushed + costs_.mtu - 1) / costs_.mtu;
@@ -381,7 +378,7 @@ Result<std::size_t> Net::recv_into(Socket& s, std::span<std::byte> out) {
     if (s.rd_shutdown_) return std::size_t{0};
     if (s.rx_.size() > 0) {
       std::size_t n = s.rx_.pop(out);
-      s.cv_.notify_all();  // a sender parked on a full queue
+      s.wq_.wake_all();  // a sender parked on a full queue
       slk.unlock();
       charge(((n + 1023) / 1024) * costs_.per_kib);
       return n;
@@ -392,7 +389,7 @@ Result<std::size_t> Net::recv_into(Socket& s, std::span<std::byte> out) {
     }
     if (s.state_ != SockState::kConnected) return Errno::kENOTCONN;
     if (s.nonblock_) return Errno::kEAGAIN;
-    Errno be = block_on(slk, s.cv_, [&] {
+    Errno be = block_on(slk, s.wq_, [&] {
       return s.rx_.size() > 0 || s.rx_eof_ || s.rd_shutdown_ ||
              s.state_ != SockState::kConnected || s.peer_.expired();
     });
@@ -476,13 +473,13 @@ SysRet Net::do_shutdown(uk::Process& p, int fd, int how) {
       peer = s.peer_.lock();
     }
     notify_watchers_locked(s);
-    s.cv_.notify_all();
+    s.wq_.wake_all();
   }
   if (peer != nullptr) {
     std::lock_guard plk(peer->mu_);
     peer->rx_eof_ = true;  // our FIN: peer's recv drains then returns 0
     notify_watchers_locked(*peer);
-    peer->cv_.notify_all();
+    peer->wq_.wake_all();
   }
   return 0;
 }
@@ -503,7 +500,7 @@ void Net::drop_socket(const std::shared_ptr<Socket>& s) {
     s->state_ = SockState::kClosed;
     s->rx_eof_ = true;
     notify_watchers_locked(*s);
-    s->cv_.notify_all();
+    s->wq_.wake_all();
   }
   {
     std::lock_guard tlk(tab_mu_);
@@ -521,7 +518,7 @@ void Net::drop_socket(const std::shared_ptr<Socket>& s) {
     std::lock_guard plk(peer->mu_);
     peer->rx_eof_ = true;
     notify_watchers_locked(*peer);
-    peer->cv_.notify_all();
+    peer->wq_.wake_all();
   }
   // Connections queued on a closing listener never reach accept: reset
   // both halves so their clients see EOF/ECONNRESET rather than hanging.

@@ -15,12 +15,10 @@
 // accept_recv/sendfile calls in src/consolidation are built on them.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <vector>
 
@@ -48,10 +46,12 @@ struct EpollEvent {
   std::uint32_t events = 0;
 };
 
-/// One epoll instance: watched (userfd -> socket) entries plus a ready
-/// hint set. Level-triggered: epoll_wait re-derives readiness from socket
-/// state on every call, so still-ready fds re-arm; ready_ only drives
-/// wakeups. Lock order: socket -> epoll (see socket.hpp).
+/// One epoll instance: watched (userfd -> socket) entries plus a
+/// WaitQueue for parked epoll_wait callers. Level-triggered: epoll_wait
+/// re-derives readiness from socket state on every call, so still-ready
+/// fds re-arm; the WaitQueue only drives wakeups (a waiter takes its
+/// token before scanning, so a signal racing the scan voids the park).
+/// Lock order: socket -> epoll (see socket.hpp).
 class Epoll {
  public:
   explicit Epoll(fs::InodeNum id) : id_(id) {}
@@ -59,22 +59,15 @@ class Epoll {
   [[nodiscard]] fs::InodeNum id() const { return id_; }
 
   /// Called by a socket (its lock held) when readiness may have risen.
-  void signal(int userfd) {
-    {
-      std::lock_guard lk(mu_);
-      ready_.insert(userfd);
-    }
-    cv_.notify_all();
-  }
+  void signal() { wq_.wake_all(); }
 
   std::mutex mu_;
-  std::condition_variable cv_;
+  sched::WaitQueue wq_;
   struct Entry {
     std::weak_ptr<Socket> sock;
     std::uint32_t events = 0;
   };
   std::map<int, Entry> entries_;  ///< userfd -> watched socket
-  std::set<int> ready_;           ///< wakeup hints (superset of ready fds)
   std::atomic<int> refs_{1};
 
  private:
@@ -219,13 +212,16 @@ class Net {
  private:
   friend class SocketFs;
 
-  /// Park the current task until pred() holds. Watchdog-safe: every loop
-  /// iteration schedules the task out, so a task stuck on a dead socket
-  /// is killed by the same budget policy as any runaway kernel work.
-  /// Returns kEINTR if the watchdog killed the task while parked.
+  /// Park the current task on `wq` until pred() holds. `lk` must guard
+  /// the state pred() reads AND be the lock wakers hold when they mutate
+  /// it + wake, which is what makes the token handshake lossless (see
+  /// sched/waitqueue.hpp). Watchdog-safe: every park schedules the task
+  /// out, so a task stuck on a dead socket is killed by the same budget
+  /// policy as any runaway kernel work. Returns kEINTR if the task was
+  /// killed while parked.
   template <typename Pred>
-  Errno block_on(std::unique_lock<std::mutex>& lk,
-                 std::condition_variable& cv, Pred&& pred);
+  Errno block_on(std::unique_lock<std::mutex>& lk, sched::WaitQueue& wq,
+                 Pred&& pred);
 
   std::shared_ptr<Socket> make_socket(bool nonblock);
   void drop_socket(const std::shared_ptr<Socket>& s);

@@ -13,12 +13,14 @@
 // socket -> epoll (a socket holding its own lock may signal an epoll
 // instance; epoll code never touches a socket while holding the epoll
 // lock). Send locks only the *peer* socket when pushing into its queue;
-// no path ever holds two socket locks at once.
+// no path ever holds two socket locks at once. The socket's WaitQueue
+// mutex is a leaf below all of these (see sched/waitqueue.hpp): wakers
+// call wq_.wake_all() with mu_ held, sleepers take their token under mu_
+// and park after dropping it.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -29,6 +31,7 @@
 #include <vector>
 
 #include "fs/types.hpp"
+#include "sched/waitqueue.hpp"
 
 namespace usk::net {
 
@@ -120,7 +123,9 @@ class Socket {
   // place with socket logic, mirroring how struct sock is manipulated by
   // the protocol code rather than through accessors.
   std::mutex mu_;
-  std::condition_variable cv_;
+  /// Parked accept/connect/send/recv waiters. Wake with mu_ held, after
+  /// mutating whatever condition the sleeper re-checks under mu_.
+  sched::WaitQueue wq_;
 
   SockState state_ = SockState::kNew;
   std::uint16_t port_ = 0;     ///< bound/listening port (0 = unbound)

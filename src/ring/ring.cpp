@@ -21,11 +21,6 @@ namespace {
 /// take no part in path walks or mount bookkeeping).
 constexpr std::uint32_t kRingFsId = 0xFFFFFFFEu;
 
-/// Park slice between readiness re-checks (same value as net's): a cv
-/// notify cuts the latency, the periodic re-check makes a missed wakeup
-/// a performance bug, never a hang.
-constexpr auto kParkSlice = std::chrono::microseconds(200);
-
 // Modelled engine work, in kernel units.
 constexpr std::uint64_t kSetupUnits = 600;        ///< ring allocation
 constexpr std::uint64_t kSetupPerKib = 8;         ///< arena zeroing
@@ -81,10 +76,10 @@ RingStats& RingStats::operator+=(const RingStats& o) {
 bool Ring::user_prepare(const Sqe& e) {
   if (closed()) return false;
   if (!sq_.push(e)) return false;  // SQ full: counted in sq_.dropped()
-  // Doorbell: wake a drainer parked in ring_enter. Taking wait_mu_
-  // pairs with the sleeper's predicate re-check under the same lock.
-  std::lock_guard lk(wait_mu_);
-  cv_.notify_all();
+  // Doorbell: wake a drainer parked in ring_enter. The push above
+  // happened before the wake, and the sleeper took its token before
+  // re-reading the SQ, so the handshake is lossless.
+  wq_.wake_all();
   return true;
 }
 
@@ -210,10 +205,7 @@ void RingDev::close_ring(const std::shared_ptr<Ring>& r) {
       r->n_.sqes_discarded.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  {
-    std::lock_guard wlk(r->wait_mu_);
-    r->cv_.notify_all();  // unblock parked enters: they see closed()
-  }
+  r->wq_.wake_all();  // unblock parked enters: they see closed()
   std::lock_guard lk(tab_mu_);
   retired_ += r->stats();
   rings_.erase(r->ino());
@@ -467,10 +459,7 @@ std::size_t RingDev::post_cqes(Ring& r, std::vector<Cqe>& cqes, bool classic,
       r.n_.cqe_drop_hard.fetch_add(1, std::memory_order_relaxed);
     }
   }
-  if (posted > 0) {
-    std::lock_guard lk(r.wait_mu_);
-    r.cv_.notify_all();
-  }
+  if (posted > 0) r.wq_.wake_all();
   return posted;
 }
 
@@ -557,11 +546,15 @@ SysRet RingDev::do_enter(uk::Process& p, Ring& r, std::uint32_t to_submit,
       to_submit == kDrainAll ? std::numeric_limits<std::size_t>::max()
                              : to_submit;
   const bool bounded_wait = timeout_ms > 0;
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::milliseconds(bounded_wait ? timeout_ms : 0);
+  const sched::WaitQueue::Deadline deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded_wait ? timeout_ms : 0);
   std::size_t consumed = 0;
   std::size_t posted = 0;
   for (;;) {
+    // Token before the drain: a doorbell, completion post, or close that
+    // lands anywhere past this line voids the park below.
+    const sched::WaitQueue::Token tok = r.wq_.prepare();
     bool stop = false;
     consumed += drain(p, r, budget - consumed, classic, guard, violation,
                       &posted, &stop);
@@ -570,20 +563,20 @@ SysRet RingDev::do_enter(uk::Process& p, Ring& r, std::uint32_t to_submit,
     if (r.closed()) break;
     if (timeout_ms == 0) break;
     if (bounded_wait && std::chrono::steady_clock::now() >= deadline) break;
-    // Sched-parked wait: the task schedules out (watchdog-killable) and
-    // sleeps on the ring's cv. Completion posts, new submissions, and
-    // close all notify; blocking socket ops inside the drain park on
-    // their own socket cvs wired to peer readiness -- no polling
-    // anywhere on this path.
-    if (!k_.scheduler().schedule_out(p.task)) {
+    std::uint64_t sq_ready = r.sq_.pushed() - r.sq_.popped();
+    if (sq_ready > 0 && consumed < budget) continue;  // more to drain
+    // Event-driven park: the task schedules out (the watchdog runs, as
+    // at every schedule-out) and sleeps until a doorbell, completion, or
+    // close wakes the ring's WaitQueue -- or the caller's own timeout_ms
+    // deadline passes. Blocking socket ops inside the drain park on their
+    // sockets' WaitQueues wired to peer readiness; no polling anywhere on
+    // this path.
+    sched::WaitQueue::Wait w =
+        k_.scheduler().block(r.wq_, tok, bounded_wait ? &deadline : nullptr);
+    if (w == sched::WaitQueue::Wait::kKilled) {
       if (posted > 0) return static_cast<SysRet>(posted);
       return sysret_err(Errno::kEINTR);
     }
-    std::unique_lock wl(r.wait_mu_);
-    if (r.cq_size() >= min_complete || r.closed()) continue;
-    std::uint64_t sq_ready = r.sq_.pushed() - r.sq_.popped();
-    if (sq_ready > 0 && consumed < budget) continue;  // more to drain
-    r.cv_.wait_for(wl, kParkSlice);
   }
   return static_cast<SysRet>(posted);
 }

@@ -31,7 +31,6 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -211,8 +210,10 @@ class Ring {
   std::atomic<int> ext_{-1};
 
   std::mutex drain_mu_;  ///< single drainer at a time
-  std::mutex wait_mu_;   ///< protects cv_ sleepers (parked ring_enter)
-  std::condition_variable cv_;
+  /// Parked ring_enter waiters. Doorbells (user_prepare), completion
+  /// posts, and close wake it; the waiter's token is taken before the
+  /// drain, so none of those events can slip between drain and park.
+  sched::WaitQueue wq_;
 
   RingCounters n_;
 };

@@ -1,0 +1,76 @@
+// Per-CPU runqueue for the pooled dispatch model.
+//
+// Shape follows the classic per-CPU scheduler split (emergence-kernel's
+// scheduler.c/smp.c): each CPU owns a small locked FIFO; the owner pushes
+// and pops at the front, thieves steal from the back, so a stolen task is
+// the one that has waited longest and the owner's cache-warm work stays
+// local. The lock is the instrumented base::SpinLock -- runqueue
+// contention shows up in the same evmon/lock accounting as the dcache
+// shards, which is how "the runqueue became the bottleneck" would be
+// diagnosed.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "base/sync.hpp"
+#include "sched/task.hpp"
+
+namespace usk::sched {
+
+class RunQueue {
+ public:
+  RunQueue() : mu_("runqueue") {}
+
+  /// Enqueue at the tail (owner side).
+  void push(Task* t) {
+    std::lock_guard lk(mu_);
+    q_.push_back(t);
+    pushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Owner dequeue: front of the FIFO (oldest local work first).
+  Task* pop() {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return nullptr;
+    Task* t = q_.front();
+    q_.pop_front();
+    pops_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  /// Thief dequeue: back of the FIFO (longest-waiting task migrates).
+  Task* steal() {
+    std::lock_guard lk(mu_);
+    if (q_.empty()) return nullptr;
+    Task* t = q_.back();
+    q_.pop_back();
+    stolen_.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  [[nodiscard]] std::size_t depth() const {
+    std::lock_guard lk(mu_);
+    return q_.size();
+  }
+  [[nodiscard]] std::uint64_t pushes() const {
+    return pushes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t pops() const {
+    return pops_.load(std::memory_order_relaxed);
+  }
+  /// Tasks stolen FROM this queue by other CPUs.
+  [[nodiscard]] std::uint64_t stolen() const {
+    return stolen_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable base::SpinLock mu_;
+  std::deque<Task*> q_;
+  std::atomic<std::uint64_t> pushes_{0};
+  std::atomic<std::uint64_t> pops_{0};
+  std::atomic<std::uint64_t> stolen_{0};
+};
+
+}  // namespace usk::sched

@@ -6,8 +6,16 @@
 // kernel time then the process is terminated." Kernel time here is
 // measured in deterministic work units charged by the boundary, the
 // filesystems, and the CosyVM interpreter.
+//
+// Task state is atomic: a parked task can be killed (watchdog, explicit
+// Scheduler::kill) from another CPU while its own CPU is inspecting it,
+// and /proc readers snapshot states concurrently. seq_cst stores/loads
+// on state_ and parked_on_ give the kill path a Dekker-style guarantee:
+// either the parker observes kKilled before sleeping, or the killer
+// observes the WaitQueue the task parked on and wakes it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -16,12 +24,18 @@ namespace usk::sched {
 
 using Pid = std::uint32_t;
 
+class WaitQueue;
+
 enum class TaskState {
   kRunnable,
   kRunning,
+  kParked,  ///< scheduled out, blocked on a WaitQueue
   kExited,
   kKilled,  ///< terminated by the safety watchdog
 };
+
+/// "No affinity": the task may run (and be stolen) anywhere.
+inline constexpr std::size_t kAnyCpu = ~static_cast<std::size_t>(0);
 
 struct TaskTimes {
   std::uint64_t user = 0;    ///< work units spent in user mode
@@ -34,11 +48,35 @@ class Task {
 
   [[nodiscard]] Pid pid() const { return pid_; }
   [[nodiscard]] const std::string& name() const { return name_; }
-  [[nodiscard]] TaskState state() const { return state_; }
-  void set_state(TaskState s) { state_ = s; }
-  [[nodiscard]] bool alive() const {
-    return state_ == TaskState::kRunnable || state_ == TaskState::kRunning;
+  [[nodiscard]] TaskState state() const { return state_.load(); }
+  void set_state(TaskState s) { state_.store(s); }
+  /// CAS on the state; `expected` is updated on failure. Scheduling
+  /// transitions (enter -> kRunning, enqueue -> kRunnable, unpark ->
+  /// restore) use this so they can never overwrite a concurrent kill:
+  /// a plain store would resurrect a task killed in the window between
+  /// reading the state and writing the new one.
+  bool cas_state(TaskState& expected, TaskState desired) {
+    return state_.compare_exchange_strong(expected, desired);
   }
+  [[nodiscard]] bool alive() const {
+    TaskState s = state();
+    return s == TaskState::kRunnable || s == TaskState::kRunning ||
+           s == TaskState::kParked;
+  }
+
+  // --- placement ------------------------------------------------------------
+  /// Preferred CPU (runqueue) for this task; kAnyCpu = unbound.
+  [[nodiscard]] std::size_t affinity() const { return affinity_.load(); }
+  void set_affinity(std::size_t cpu) { affinity_.store(cpu); }
+  /// CPU the task last ran on (kAnyCpu until first enter); migration
+  /// accounting compares against it.
+  [[nodiscard]] std::size_t last_cpu() const { return last_cpu_.load(); }
+  void set_last_cpu(std::size_t cpu) { last_cpu_.store(cpu); }
+
+  /// WaitQueue this task is currently parked on (null when not parked).
+  /// Written by WaitQueue::wait under its mutex; read by the kill path.
+  [[nodiscard]] WaitQueue* parked_on() const { return parked_on_.load(); }
+  void set_parked_on(WaitQueue* wq) { parked_on_.store(wq); }
 
   // --- kernel-mode bookkeeping -------------------------------------------
   void enter_kernel() {
@@ -82,7 +120,10 @@ class Task {
  private:
   Pid pid_;
   std::string name_;
-  TaskState state_ = TaskState::kRunnable;
+  std::atomic<TaskState> state_{TaskState::kRunnable};
+  std::atomic<std::size_t> affinity_{kAnyCpu};
+  std::atomic<std::size_t> last_cpu_{kAnyCpu};
+  std::atomic<WaitQueue*> parked_on_{nullptr};
   int in_kernel_depth_ = 0;
   std::uint64_t kernel_visit_start_ = 0;
   std::uint64_t kernel_budget_ = std::numeric_limits<std::uint64_t>::max();

@@ -142,7 +142,7 @@ Result<std::uint64_t> GroupCommitJournal::commit(JTxn&& txn) {
           t.res->done = true;
         }
         flushing_ = false;
-        cv_.notify_all();
+        wq_.wake_all();
         continue;
       }
       const std::uint64_t seq = ++unit_seq_;
@@ -174,9 +174,18 @@ Result<std::uint64_t> GroupCommitJournal::commit(JTxn&& txn) {
         }
       }
       flushing_ = false;
-      cv_.notify_all();
+      wq_.wake_all();
     } else {
-      cv_.wait(lk);
+      // Follower wait for the in-flight leader. The token is taken and
+      // the conditions re-checked under mu_ -- the same lock every waker
+      // (batch done, ENOSPC fail, leadership handoff) mutates them
+      // under -- so the park cannot miss a wake. No task is passed:
+      // this is the one uninterruptible wait (see journal.hpp).
+      sched::WaitQueue::Token tok = wq_.prepare();
+      if (res->done || (!flushing_ && !pending_.empty())) continue;
+      lk.unlock();
+      wq_.wait(tok, nullptr);
+      lk.lock();
     }
   }
   if (res->err != Errno::kOk) return res->err;

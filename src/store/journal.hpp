@@ -34,7 +34,6 @@
 // written -- silently, like disk.torn: the damage only shows at recovery.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -42,6 +41,7 @@
 #include <vector>
 
 #include "base/errno.hpp"
+#include "sched/waitqueue.hpp"
 #include "store/image.hpp"
 
 namespace usk::store {
@@ -168,7 +168,12 @@ class GroupCommitJournal {
   JournalConfig cfg_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  /// Follower waits for leader completion. Uninterruptible (D-state):
+  /// a committed txn may already be on the medium, so the wait ends only
+  /// when a leader marks it done -- never on a kill or a timer. Wakers
+  /// hold mu_, waiters take their token under mu_ (the standard
+  /// sched::WaitQueue handshake), so wakeups are lossless.
+  sched::WaitQueue wq_;
   std::vector<PendingTxn> pending_;
   bool flushing_ = false;
   std::uint64_t tail_ = 0;        ///< bytes used in region

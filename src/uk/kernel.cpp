@@ -57,6 +57,9 @@ fs::ProcFs& Kernel::mount_procfs() {
 Process& Kernel::spawn(std::string name) {
   sched::Task& t = sched_.spawn(std::move(name));
   std::lock_guard lk(spawn_mu_);
+  // Round-robin affinity: pooled dispatchers enqueue onto the task's home
+  // runqueue; direct dispatch ignores it (enter() runs wherever called).
+  sched_.bind(t, procs_.size() % sched_.cpu_count());
   procs_.push_back(std::make_unique<Process>(t));
   return *procs_.back();
 }
@@ -74,7 +77,7 @@ Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
   USK_TRACEPOINT("syscall", "enter", static_cast<std::uint64_t>(nr));
   k_.boundary_.enter_kernel(p_.task);
   ++p_.task.syscalls;
-  k_.sched_.set_current(p_.task);
+  k_.sched_.enter(p_.task);
 }
 
 Kernel::Scope::~Scope() {

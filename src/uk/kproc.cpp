@@ -35,6 +35,7 @@ const char* state_name(sched::TaskState s) {
   switch (s) {
     case sched::TaskState::kRunnable: return "runnable";
     case sched::TaskState::kRunning: return "running";
+    case sched::TaskState::kParked: return "parked";
     case sched::TaskState::kExited: return "exited";
     case sched::TaskState::kKilled: return "killed";
   }
@@ -144,12 +145,48 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
 
   pfs.add_file("/sched/stats", [&k] {
     const sched::SchedStats& s = k.scheduler().stats();
+    const sched::WaitStats& w = sched::waitqueue_stats();
     std::string out;
     appendf(out,
             "tasks %zu\npreempt_points %" PRIu64 "\nschedules %" PRIu64
             "\nwatchdog_kills %" PRIu64 "\n",
             k.scheduler().task_count(), s.preempt_points.load(),
             s.schedules.load(), s.watchdog_kills.load());
+    appendf(out,
+            "enqueues %" PRIu64 "\npicks %" PRIu64 "\nsteals %" PRIu64
+            "\nsteal_misses %" PRIu64 "\nmigrations %" PRIu64
+            "\nyields %" PRIu64 "\nparks %" PRIu64 "\nkills %" PRIu64 "\n",
+            s.enqueues.load(), s.picks.load(), s.steals.load(),
+            s.steal_misses.load(), s.migrations.load(), s.yields.load(),
+            s.parks.load(), s.kills.load());
+    appendf(out,
+            "wait_parks %" PRIu64 "\nwait_wakeups %" PRIu64
+            "\nwait_stale_tokens %" PRIu64 "\nwait_kills %" PRIu64
+            "\nwait_timeouts %" PRIu64 "\nparked_now %" PRId64 "\n",
+            w.parks.load(), w.wakeups.load(), w.stale_tokens.load(),
+            w.kills_while_parked.load(), w.timeouts.load(),
+            w.parked_now.load());
+    return out;
+  });
+
+  // Per-CPU runqueue view: one row per runqueue that has seen any
+  // traffic (64 all-zero rows would drown the signal in ktop).
+  pfs.add_file("/sched/runqueues", [&k] {
+    std::string out;
+    appendf(out, "# cpu depth current pushes stolen_from steals "
+                 "migrations_in picks\n");
+    for (const sched::Scheduler::CpuSnapshot& c :
+         k.scheduler().snapshot_cpus()) {
+      if (c.pushes == 0 && c.picks == 0 && c.steals == 0 &&
+          c.current_pid == 0 && c.depth == 0) {
+        continue;
+      }
+      appendf(out,
+              "%zu %zu %u %" PRIu64 " %" PRIu64 " %" PRIu64 " %" PRIu64
+              " %" PRIu64 "\n",
+              c.cpu, c.depth, c.current_pid, c.pushes, c.stolen_from,
+              c.steals, c.migrations_in, c.picks);
+    }
     return out;
   });
 
@@ -278,6 +315,34 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
       "usk_trace_events_dropped",
       "ktrace events lost to full per-CPU rings", {},
       [] { return static_cast<std::int64_t>(trace::ktrace().dropped()); });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_steals", "runqueue picks served by work stealing", {}, [&k] {
+        return static_cast<std::int64_t>(k.scheduler().stats().steals.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_migrations", "tasks entered on a CPU other than their last",
+      {}, [&k] {
+        return static_cast<std::int64_t>(
+            k.scheduler().stats().migrations.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_wakeups", "WaitQueue wake_one/wake_all calls", {}, [] {
+        return static_cast<std::int64_t>(
+            sched::waitqueue_stats().wakeups.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_parks", "tasks parked on WaitQueues (cumulative)", {}, [] {
+        return static_cast<std::int64_t>(sched::waitqueue_stats().parks.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_parked_tasks", "tasks parked on WaitQueues right now", {},
+      [] { return sched::waitqueue_stats().parked_now.load(); });
+  metrics::kmetrics().gauge_fn(
+      "usk_sched_wait_timeouts",
+      "parked waits ended by a user-requested deadline", {}, [] {
+        return static_cast<std::int64_t>(
+            sched::waitqueue_stats().timeouts.load());
+      });
   metrics::kmetrics().gauge_fn(
       "usk_spans_started", "spans opened since reset", {},
       [] { return static_cast<std::int64_t>(trace::kspan().stats().started); });

@@ -408,7 +408,7 @@ TEST_F(VmTest, ArithmeticFunction) {
   VmAssembler a;
   a.mov(0, 1).mul(0, 2).addi(0, 7).ret();
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "mul7");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   auto r = f.run(std::array<std::int64_t, 2>{6, 7}, sched_, engine_, costs_,
                  nullptr);
   ASSERT_TRUE(r.ok());
@@ -425,7 +425,7 @@ TEST_F(VmTest, DataSegmentLoadStore) {
       .add(0, 3)
       .ret();
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "ls");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   auto r = f.run(std::array<std::int64_t, 1>{21}, sched_, engine_, costs_,
                  nullptr);
   ASSERT_TRUE(r.ok());
@@ -436,7 +436,7 @@ TEST_F(VmTest, OutOfSegmentAccessFaults) {
   VmAssembler a;
   a.loadi(2, 0).st(1, 2, 1000).ret();  // data segment is only 64 bytes
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "oob");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   std::uint64_t violations_before = gdt_.stats().violations;
   auto r = f.run(std::array<std::int64_t, 1>{5}, sched_, engine_, costs_,
                  nullptr);
@@ -449,7 +449,7 @@ TEST_F(VmTest, IsolatedModeFetchesThroughCodeSegment) {
   VmAssembler a;
   a.loadi(0, 11).ret();
   VmFunction f(a.take(), 64, SafetyMode::kIsolatedSegments, gdt_, "iso");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   VmRunStats stats;
   auto r = f.run({}, sched_, engine_, costs_, &stats);
   ASSERT_TRUE(r.ok());
@@ -464,7 +464,7 @@ TEST_F(VmTest, IsolatedModeChargesFarCall) {
   a2.loadi(0, 1).ret();
   VmFunction iso(a1.take(), 64, SafetyMode::kIsolatedSegments, gdt_, "i");
   VmFunction data(a2.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "d");
-  sched::Task& t = sched_.spawn("t");
+  sched::Task& t = sched_.enter(sched_.spawn("t"));
   t.enter_kernel();
   std::uint64_t k0 = t.times().kernel;
   (void)data.run({}, sched_, engine_, costs_, nullptr);
@@ -482,7 +482,7 @@ TEST_F(VmTest, LoopWithBackEdgePreemption) {
   std::size_t loop = a.here();
   a.add(0, 3).addi(3, 1).jlt(3, 4, static_cast<std::int64_t>(loop)).ret();
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "sum");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   VmRunStats stats;
   auto r = f.run({}, sched_, engine_, costs_, &stats);
   ASSERT_TRUE(r.ok());
@@ -495,7 +495,7 @@ TEST_F(VmTest, WatchdogKillsRunawayFunction) {
   std::size_t loop = a.here();
   a.addi(0, 1).jmp(static_cast<std::int64_t>(loop));
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "spin");
-  sched::Task& t = sched_.spawn("t");
+  sched::Task& t = sched_.enter(sched_.spawn("t"));
   t.set_kernel_budget(50'000);
   t.enter_kernel();
   auto r = f.run({}, sched_, engine_, costs_, nullptr);
@@ -508,7 +508,7 @@ TEST_F(VmTest, FallingOffEndIsError) {
   VmAssembler a;
   a.loadi(0, 1);  // no ret
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "noret");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   auto r = f.run({}, sched_, engine_, costs_, nullptr);
   EXPECT_FALSE(r.ok());
 }
@@ -519,7 +519,7 @@ TEST_F(VmTest, PokePeekDataSegment) {
   VmFunction f(a.take(), 64, SafetyMode::kDataSegmentOnly, gdt_, "peek");
   std::int64_t seed = 1234;
   ASSERT_EQ(f.poke(0, &seed, sizeof(seed)), Errno::kOk);
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   auto r = f.run({}, sched_, engine_, costs_, nullptr);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), 1234);
@@ -547,8 +547,7 @@ TEST_F(VmTest, FuzzedBytecodeNeverEscapes) {
                            ? cosy::SafetyMode::kIsolatedSegments
                            : cosy::SafetyMode::kDataSegmentOnly,
                        gdt_, "fuzz" + std::to_string(trial));
-    sched::Task& t = sched_.spawn("fz" + std::to_string(trial));
-    sched_.set_current(t);
+    sched::Task& t = sched_.enter(sched_.spawn("fz" + std::to_string(trial)));
     t.set_kernel_budget(20'000);
     t.enter_kernel();
     auto r = f.run(std::array<std::int64_t, 2>{1, 2}, sched_, engine_,

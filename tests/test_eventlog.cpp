@@ -113,7 +113,7 @@ TEST_F(SpliceTest, SpliceRelocatesJumpTargets) {
   a.ret();                                   // 6
   cosy::VmFunction f(a.take(), 64, cosy::SafetyMode::kDataSegmentOnly, gdt_,
                      "sum");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
 
   auto run = [&] {
     auto r = f.run({}, sched_, engine_, costs_, nullptr);
@@ -149,7 +149,7 @@ TEST_F(SpliceTest, EntryCounterInstrumentationCounts) {
   a.mov(0, 1).addi(0, 100).ret();
   cosy::VmFunction f(a.take(), 64, cosy::SafetyMode::kDataSegmentOnly, gdt_,
                      "instrumented");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
 
   constexpr std::uint64_t kCounterOff = 32;
   ASSERT_TRUE(cosy::instrument_entry_counter(f, kCounterOff));
@@ -170,7 +170,7 @@ TEST_F(SpliceTest, IsolatedSegmentRewrittenOnPatch) {
   a.loadi(0, 5).ret();
   cosy::VmFunction f(a.take(), 64, cosy::SafetyMode::kIsolatedSegments, gdt_,
                      "iso-patch");
-  sched_.spawn("t");
+  sched_.enter(sched_.spawn("t"));
   ASSERT_TRUE(cosy::instrument_entry_counter(f, 0));
   // Runs correctly from the rewritten execute-only segment.
   auto r = f.run({}, sched_, engine_, costs_, nullptr);

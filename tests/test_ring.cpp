@@ -634,8 +634,10 @@ TEST_F(RingTest, MinCompleteParksUntilProducerSubmits) {
     Sqe s{};
     s.user_data = 1;
     s.op = RingOp::kNop;
-    ASSERT_TRUE(m.rg->user_prepare(s));
+    // Flag BEFORE the prepare: the doorbell in user_prepare wakes the
+    // parked enter instantly, so a store after it races the drain.
     submitted.store(true, std::memory_order_release);
+    ASSERT_TRUE(m.rg->user_prepare(s));
   });
   // Nothing queued yet: the enter parks (no polling -- the doorbell in
   // user_prepare wakes it) until the producer's SQE drains.

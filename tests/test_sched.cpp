@@ -1,6 +1,15 @@
-// Tests for the scheduler: kernel-time accounting, preemption points, and
-// the watchdog that kills over-budget tasks (Cosy's infinite-loop defence).
+// Tests for the scheduler: kernel-time accounting, preemption points, the
+// watchdog that kills over-budget tasks (Cosy's infinite-loop defence),
+// per-CPU runqueues with work stealing, and the WaitQueue park/wake API.
+//
+// The Smp* tests are the multi-threaded stress battery run under TSan by
+// run_tier1.sh tsan (ctest -R Smp): keep "Smp" in those names.
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
 
 #include "sched/scheduler.hpp"
 
@@ -54,21 +63,26 @@ TEST(TaskTest, BudgetIsPerVisit) {
   EXPECT_FALSE(t.over_kernel_budget());  // fresh visit, fresh budget
 }
 
-TEST(SchedulerTest, SpawnAssignsPidsAndCurrent) {
+TEST(SchedulerTest, SpawnAssignsPidsNotCurrent) {
   Scheduler s;
   Task& a = s.spawn("a");
   Task& b = s.spawn("b");
   EXPECT_NE(a.pid(), b.pid());
+  // Spawning no longer implies running: dispatch is explicit via enter().
+  EXPECT_EQ(s.current(), nullptr);
+  EXPECT_EQ(a.state(), TaskState::kRunnable);
+  s.enter(a);
   EXPECT_EQ(s.current(), &a);
   EXPECT_EQ(a.state(), TaskState::kRunning);
-  s.set_current(b);
+  s.enter(b);
   EXPECT_EQ(s.current(), &b);
-  EXPECT_EQ(a.state(), TaskState::kRunnable);
+  EXPECT_EQ(a.state(), TaskState::kRunnable);  // demoted on switch
+  EXPECT_EQ(b.state(), TaskState::kRunning);
 }
 
 TEST(SchedulerTest, PreemptPointCountsAndSchedules) {
   Scheduler s(/*quantum=*/4);
-  Task& t = s.spawn("t");
+  Task& t = s.enter(s.spawn("t"));
   for (int i = 0; i < 8; ++i) {
     EXPECT_TRUE(s.preempt_point());
   }
@@ -79,7 +93,7 @@ TEST(SchedulerTest, PreemptPointCountsAndSchedules) {
 
 TEST(SchedulerTest, WatchdogKillsOverBudgetTask) {
   Scheduler s(/*quantum=*/2);
-  Task& t = s.spawn("runaway");
+  Task& t = s.enter(s.spawn("runaway"));
   t.set_kernel_budget(100);
   t.enter_kernel();
   t.charge_kernel(500);  // way over
@@ -99,7 +113,7 @@ TEST(SchedulerTest, WatchdogKillsOverBudgetTask) {
 
 TEST(SchedulerTest, WatchdogLeavesHealthyTaskAlone) {
   Scheduler s(/*quantum=*/1);  // schedule-out at every point
-  Task& t = s.spawn("healthy");
+  Task& t = s.enter(s.spawn("healthy"));
   t.set_kernel_budget(1'000'000);
   t.enter_kernel();
   t.charge_kernel(10);
@@ -112,7 +126,7 @@ TEST(SchedulerTest, WatchdogLeavesHealthyTaskAlone) {
 
 TEST(SchedulerTest, WatchdogIgnoresUserModeTime) {
   Scheduler s(/*quantum=*/1);
-  Task& t = s.spawn("usermode");
+  Task& t = s.enter(s.spawn("usermode"));
   t.set_kernel_budget(10);
   t.charge_user(1'000'000);  // user time is not kernel time
   EXPECT_TRUE(s.preempt_point());
@@ -122,13 +136,309 @@ TEST(SchedulerTest, WatchdogIgnoresUserModeTime) {
 TEST(SchedulerTest, KillIsLogged) {
   base::klog().clear();
   Scheduler s(/*quantum=*/1);
-  Task& t = s.spawn("victim");
+  Task& t = s.enter(s.spawn("victim"));
   t.set_kernel_budget(1);
   t.enter_kernel();
   t.charge_kernel(10);
   EXPECT_FALSE(s.preempt_point());
   EXPECT_TRUE(base::klog().contains("watchdog"));
   EXPECT_TRUE(base::klog().contains("victim"));
+}
+
+// --- runqueues, affinity, stealing -----------------------------------------
+
+TEST(SchedulerTest, EnqueuePickRoundTrip) {
+  Scheduler s(/*quantum=*/32, /*cpus=*/4);
+  Task& t = s.spawn("t");
+  s.bind(t, base::current_cpu() % 4);  // home it on this CPU's queue
+  s.enqueue(t);
+  EXPECT_EQ(s.stats().enqueues, 1u);
+  Task* picked = s.pick_next();
+  ASSERT_EQ(picked, &t);
+  EXPECT_EQ(t.state(), TaskState::kRunning);
+  EXPECT_EQ(s.current(), &t);
+  EXPECT_EQ(s.stats().picks, 1u);
+  EXPECT_EQ(s.stats().steals, 0u);  // local pop, no theft
+  EXPECT_EQ(s.pick_next(), nullptr);
+  EXPECT_EQ(s.stats().steal_misses, 1u);
+}
+
+TEST(SchedulerTest, PickStealsFromSiblingQueue) {
+  Scheduler s(/*quantum=*/32, /*cpus=*/4);
+  // Park all work on a queue that is NOT ours: pick_next must steal.
+  const std::size_t other = (base::current_cpu() + 1) % 4;
+  Task& t = s.spawn("remote");
+  s.bind(t, other);
+  s.enqueue(t);
+  Task* picked = s.pick_next();
+  ASSERT_EQ(picked, &t);
+  EXPECT_EQ(s.stats().steals, 1u);
+  auto cpus = s.snapshot_cpus();
+  EXPECT_EQ(cpus[other].stolen_from, 1u);
+}
+
+TEST(SchedulerTest, PickDropsKilledTasks) {
+  Scheduler s(/*quantum=*/32, /*cpus=*/2);
+  Task& dead = s.spawn("dead");
+  Task& live = s.spawn("live");
+  s.bind(dead, base::current_cpu() % 2);
+  s.bind(live, base::current_cpu() % 2);
+  s.enqueue(dead);
+  s.enqueue(live);
+  s.kill(dead);
+  EXPECT_EQ(s.pick_next(), &live);  // the corpse is skipped, not run
+  EXPECT_EQ(s.pick_next(), nullptr);
+}
+
+TEST(SchedulerTest, YieldRunsWatchdog) {
+  Scheduler s(/*quantum=*/1'000'000);  // never involuntarily scheduled
+  Task& t = s.enter(s.spawn("yielder"));
+  t.set_kernel_budget(5);
+  t.enter_kernel();
+  t.charge_kernel(100);
+  // yield() is a schedule-out: the budget check fires here even though
+  // the quantum never expired.
+  EXPECT_FALSE(s.yield());
+  EXPECT_EQ(t.state(), TaskState::kKilled);
+  EXPECT_EQ(s.stats().watchdog_kills, 1u);
+}
+
+// --- WaitQueue park/wake ---------------------------------------------------
+
+TEST(WaitQueueTest, StaleTokenReturnsWithoutSleeping) {
+  WaitQueue wq;
+  WaitQueue::Token tok = wq.prepare();
+  wq.wake_all();  // wake posted after the snapshot -> token stale
+  EXPECT_EQ(wq.wait(tok, nullptr), WaitQueue::Wait::kWoken);
+}
+
+TEST(WaitQueueTest, UserDeadlineExpires) {
+  WaitQueue wq;
+  WaitQueue::Token tok = wq.prepare();
+  const WaitQueue::Deadline dl =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(wq.wait(tok, nullptr, &dl), WaitQueue::Wait::kTimeout);
+}
+
+TEST(WaitQueueTest, BlockReturnsKilledWhenAlreadyOverBudget) {
+  // Regression for the paper's §2.3 semantics: parking IS a schedule-out,
+  // so a task over its kernel budget dies at the park point -- it never
+  // reaches the queue.
+  Scheduler s(/*quantum=*/1'000'000);
+  Task& t = s.enter(s.spawn("overdue"));
+  t.set_kernel_budget(1);
+  t.enter_kernel();
+  t.charge_kernel(50);
+  WaitQueue wq;
+  WaitQueue::Token tok = wq.prepare();
+  EXPECT_EQ(s.block(wq, tok), WaitQueue::Wait::kKilled);
+  EXPECT_EQ(t.state(), TaskState::kKilled);
+  EXPECT_EQ(s.stats().watchdog_kills, 1u);
+}
+
+TEST(WaitQueueTest, WakeUnparksBlockedTask) {
+  Scheduler s;
+  Task& t = s.spawn("sleeper");
+  WaitQueue wq;
+  std::atomic<bool> parked{false};
+  std::atomic<int> result{-1};
+  std::thread sleeper([&] {
+    s.enter(t);  // this thread's CPU now runs the task
+    WaitQueue::Token tok = wq.prepare();
+    parked.store(true);
+    result.store(static_cast<int>(s.block(wq, tok)));
+  });
+  while (!parked.load()) std::this_thread::yield();
+  wq.wake_all();
+  sleeper.join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitQueue::Wait::kWoken));
+  EXPECT_EQ(t.state(), TaskState::kRunning);  // state restored after park
+}
+
+TEST(WaitQueueTest, KillWakesParkedTask) {
+  Scheduler s;
+  Task& t = s.spawn("doomed");
+  WaitQueue wq;
+  std::atomic<int> result{-1};
+  std::thread sleeper([&] {
+    s.enter(t);
+    WaitQueue::Token tok = wq.prepare();
+    result.store(static_cast<int>(s.block(wq, tok)));
+  });
+  // Wait until the task is visibly parked, then kill it; kill must find
+  // the queue via parked_on and wake it (no other waker exists).
+  while (t.state() != TaskState::kParked) std::this_thread::yield();
+  s.kill(t);
+  sleeper.join();
+  EXPECT_EQ(result.load(), static_cast<int>(WaitQueue::Wait::kKilled));
+  EXPECT_EQ(t.state(), TaskState::kKilled);
+}
+
+// --- Smp stress battery (TSan gate: names must contain "Smp") --------------
+
+TEST(SmpTest, SmpStealStressKeepsEveryTaskRunningOnce) {
+  // Many tasks enqueued onto CPU-skewed queues; worker threads drain with
+  // pick_next. Every task must be picked exactly once (the runqueue never
+  // duplicates or loses), and with all work piled on two home CPUs the
+  // other workers can only make progress by stealing.
+  constexpr int kWorkers = 8;
+  constexpr int kTasks = 2000;
+  Scheduler s(/*quantum=*/32, /*cpus=*/kWorkers);
+  std::vector<Task*> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    Task& t = s.spawn("w" + std::to_string(i));
+    s.bind(t, static_cast<std::size_t>(i % 2));  // skew: 2 home queues
+    tasks.push_back(&t);
+  }
+  for (Task* t : tasks) s.enqueue(*t);
+  std::atomic<int> picked{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kWorkers);
+  for (int w = 0; w < kWorkers; ++w) {
+    workers.emplace_back([&] {
+      while (picked.load(std::memory_order_relaxed) < kTasks) {
+        Task* t = s.pick_next();
+        if (t == nullptr) {
+          std::this_thread::yield();
+          continue;
+        }
+        picked.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(picked.load(), kTasks);
+  EXPECT_EQ(s.stats().picks, static_cast<std::uint64_t>(kTasks));
+  // With a 2-queue skew and 8 workers, stealing is what spread the load.
+  EXPECT_GT(s.stats().steals, 0u);
+}
+
+TEST(SmpTest, SmpParkWakeStressLosesNoWakeups) {
+  // Classic lost-wakeup hunt: consumers park on a shared queue guarded by
+  // a condition lock, producers mutate state under the lock then wake.
+  // If the token protocol ever lost a wake, a consumer would sleep
+  // forever and the join below would hang.
+  constexpr int kConsumers = 4;
+  constexpr int kItems = 4000;
+  Scheduler s(/*quantum=*/32, /*cpus=*/kConsumers + 1);
+  WaitQueue wq;
+  std::mutex mu;
+  int available = 0;
+  bool done = false;
+  std::atomic<int> consumed{0};
+  std::vector<std::thread> consumers;
+  consumers.reserve(kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      s.enter(s.spawn("consumer" + std::to_string(c)));
+      for (;;) {
+        std::unique_lock lk(mu);
+        WaitQueue::Token tok = wq.prepare();
+        if (available > 0) {
+          --available;
+          lk.unlock();
+          consumed.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (done) return;
+        lk.unlock();
+        (void)s.block(wq, tok);
+      }
+    });
+  }
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      {
+        std::lock_guard lk(mu);
+        ++available;
+      }
+      wq.wake_one();
+    }
+    {
+      std::lock_guard lk(mu);
+      done = true;
+    }
+    wq.wake_all();
+  });
+  producer.join();
+  for (auto& c : consumers) c.join();
+  EXPECT_EQ(consumed.load(), kItems);
+}
+
+TEST(SmpTest, SmpWakeVsKillRace) {
+  // Kill and wake race on the same parked task, repeatedly. Whatever the
+  // interleaving, the sleeper must return (no hang) and the task must end
+  // killed (the killer runs unconditionally).
+  constexpr int kRounds = 300;
+  Scheduler s;
+  for (int i = 0; i < kRounds; ++i) {
+    Task& t = s.spawn("racer" + std::to_string(i));
+    WaitQueue wq;
+    std::atomic<int> result{-1};
+    std::thread sleeper([&] {
+      s.enter(t);
+      WaitQueue::Token tok = wq.prepare();
+      result.store(static_cast<int>(s.block(wq, tok)));
+    });
+    std::thread killer([&] { s.kill(t); });
+    std::thread waker([&] { wq.wake_all(); });
+    sleeper.join();
+    killer.join();
+    waker.join();
+    const auto w = static_cast<WaitQueue::Wait>(result.load());
+    EXPECT_EQ(t.state(), TaskState::kKilled);
+    EXPECT_TRUE(w == WaitQueue::Wait::kKilled || w == WaitQueue::Wait::kWoken);
+  }
+}
+
+TEST(SmpTest, SmpKillWhileParkedAlwaysUnparks) {
+  // The pure kill-vs-park race (no competing waker): the Dekker handshake
+  // on state_/parked_on_ must guarantee the sleeper wakes with kKilled.
+  constexpr int kRounds = 300;
+  Scheduler s;
+  for (int i = 0; i < kRounds; ++i) {
+    Task& t = s.spawn("victim" + std::to_string(i));
+    WaitQueue wq;
+    std::atomic<bool> entered{false};
+    std::atomic<int> result{-1};
+    std::thread sleeper([&] {
+      s.enter(t);
+      WaitQueue::Token tok = wq.prepare();
+      entered.store(true);
+      result.store(static_cast<int>(s.block(wq, tok)));
+    });
+    while (!entered.load()) std::this_thread::yield();
+    s.kill(t);  // may hit before, during, or after the park registration
+    sleeper.join();
+    EXPECT_EQ(result.load(), static_cast<int>(WaitQueue::Wait::kKilled));
+    EXPECT_EQ(t.state(), TaskState::kKilled);
+  }
+}
+
+TEST(SmpTest, SmpEnterIsPerCpuRaceFree) {
+  // Concurrent enter()/preempt_point() on distinct tasks from distinct
+  // threads (= distinct CPUs) must be race-free; TSan is the real
+  // assertion. Re-entering your own task is the fast path and must not
+  // count migrations.
+  constexpr int kThreads = 4;
+  constexpr int kHops = 200;
+  Scheduler s(/*quantum=*/32, /*cpus=*/kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      Task& mine = s.spawn("hopper" + std::to_string(w));
+      s.bind(mine, static_cast<std::size_t>(w));
+      for (int i = 0; i < kHops; ++i) {
+        s.enter(mine);
+        (void)s.preempt_point();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.stats().migrations, 0u);
+  EXPECT_EQ(s.task_count(), static_cast<std::size_t>(kThreads));
 }
 
 }  // namespace

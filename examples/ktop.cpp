@@ -18,6 +18,7 @@
 
 #include "blockdev/buffer_cache.hpp"
 #include "blockdev/disk.hpp"
+#include "dl/dl.hpp"
 #include "net/net.hpp"
 #include "ring/ring.hpp"
 #include "store/store.hpp"
@@ -219,6 +220,37 @@ void ring_workload(ring::RingDev& rdev, uk::Proc& p) {
   // Leave the fd open: the panel shows a LIVE ring, main closes it after.
 }
 
+/// Deadline walkthrough: arm kdl through /proc/dl/enable the way a shell
+/// would, then drive one of everything the panel reports -- requests that
+/// complete inside their budget, one that expires at the syscall gateway,
+/// admission sheds against a warmed service estimate, and a tenant retry
+/// budget rejected to exhaustion -- so /proc/dl/{stats,tenants} have live
+/// numbers to show.
+void deadline_workload(uk::Proc& p, dl::RetryBudget& tenant) {
+  int fd = p.open("/proc/dl/enable", fs::kOWrOnly);
+  if (fd >= 0) {
+    p.write(fd, "1\n", 2);
+    p.close(fd);
+  }
+  using namespace std::chrono_literals;
+  for (int i = 0; i < 8; ++i) {
+    dl::DeadlineScope scope(50ms, &p.task(), /*tenant=*/0);
+    (void)p.getpid();
+  }
+  {
+    dl::DeadlineScope expired(std::chrono::nanoseconds(0), &p.task());
+    (void)p.getpid();  // gateway fail-fast: -ETIMEDOUT, counted
+  }
+  dl::Admission adm;
+  for (int i = 0; i < 40; ++i) {
+    if (adm.try_admit(1'000'000'000)) adm.depart(2'000'000);
+  }
+  (void)adm.try_admit(1);  // infeasible budget: shed at ingress
+  while (tenant.on_reject().retry) {
+  }
+  tenant.on_success();
+}
+
 void render_frame(uk::Proc& p, int frame) {
   std::string self = read_proc_file(p, "/proc/self/stat");
   std::string vfs = read_proc_file(p, "/proc/vfs/stats");
@@ -409,6 +441,20 @@ int main() {
               head_lines(read_proc_file(top, "/proc/span/spans"), 8).c_str());
   std::printf("\nextension SLOs (/proc/sup/slo):\n%s",
               read_proc_file(top, "/proc/sup/slo").c_str());
+
+  // Deadline panel: request budgets, gateway fail-fasts, admission
+  // sheds, and per-tenant retry budgets, read back through /proc/dl.
+  // The tenant outlives the workload: /proc/dl/tenants shows LIVE
+  // budgets, and a destroyed one leaves the table.
+  dl::RetryBudgetConfig tenant_cfg;
+  tenant_cfg.budget = 2;
+  dl::RetryBudget tenant("ktop.tenant", tenant_cfg);
+  deadline_workload(top, tenant);
+  std::printf("\ndeadline enforcement (/proc/dl/stats):\n%s",
+              read_proc_file(top, "/proc/dl/stats").c_str());
+  std::printf("\nretry budgets by tenant (/proc/dl/tenants):\n%s",
+              read_proc_file(top, "/proc/dl/tenants").c_str());
+
   std::printf("\nmetrics scrape, buckets elided (/proc/metrics):\n%s",
               scrape_summary(read_proc_file(top, "/proc/metrics")).c_str());
 

@@ -23,6 +23,15 @@
 #           oracle sweep (label `storage`), then bench_storage --quick
 #           gated by the group-commit amortization (>= 3 txns/flush at 8
 #           writers) and PostMark persistence (<= 1.10x) budgets
+#   dl      the request-path suites re-run with kdl armed end to end
+#           (label `dl`: USK_DL=1 plus seeded transient clock skew and
+#           spurious park wakeups at the dl fault sites), then
+#           bench_overload --quick with its JSON gated by the R3 budgets:
+#           goodput >= 70% of capacity at 2x offered load, admitted p99
+#           <= 5x the uncontended p99, shed accuracy >= 70%, the
+#           unprotected baseline degraded, >= 1000 cancels with ZERO
+#           leaked fds/sockets, and the disarmed gateway check <= 1% of
+#           a null syscall
 #   sched   the scheduler-dependent suites (everything blocking through
 #           the WaitQueue park/wake path) re-run with transient injection
 #           at the sites feeding those paths (label `sched`), then
@@ -37,7 +46,7 @@
 #           (halt_on_error: any UB report is a red run)
 #
 # Usage: scripts/run_tier1.sh [plain|faults|sup|ring|obs|storage|sched|
-#                              asan|ubsan|tsan|all]     (default: all)
+#                              dl|asan|ubsan|tsan|all]  (default: all)
 #
 # Build trees: build/ (plain + faults + sup + ring + obs + storage +
 # sched), build-asan/, build-ubsan/, build-tsan/. TSan is optional
@@ -97,6 +106,20 @@ run_sched()  { build build; (cd build && ctest -L sched -j "$jobs" --output-on-f
                  --expect-max 'bench_smp_scaling:park-timeout-wakeups:0' \
                  "$json"
                rm -f "$json"; }
+run_dl()     { build build; (cd build && ctest -L dl -j "$jobs" --output-on-failure);
+               local json; json="$(mktemp)"
+               USK_BENCH_JSON="$json" ./build/bench/bench_overload --quick
+               python3 scripts/check_bench_json.py \
+                 --expect bench_overload \
+                 --expect-max 'bench_overload:dl-disarmed-overhead-pct:1.0' \
+                 --expect-min 'bench_overload:overload-goodput-pct:70' \
+                 --expect-max 'bench_overload:overload-admitted-p99-ratio-x100:500' \
+                 --expect-min 'bench_overload:overload-shed-accuracy-pct:70' \
+                 --expect-min 'bench_overload:overload-baseline-degraded:1' \
+                 --expect-min 'bench_overload:overload-cancels:1000' \
+                 --expect-max 'bench_overload:overload-cancel-leaks:0' \
+                 "$json"
+               rm -f "$json"; }
 run_asan()   { build build-asan -DUSK_SANITIZE=address;
                (cd build-asan && ctest -L faults -j "$jobs" --output-on-failure); }
 run_ubsan()  { build build-ubsan -DUSK_SANITIZE=undefined;
@@ -114,10 +137,11 @@ case "$mode" in
   obs)    run_obs ;;
   storage) run_storage ;;
   sched)  run_sched ;;
+  dl)     run_dl ;;
   asan)   run_asan ;;
   ubsan)  run_ubsan ;;
   tsan)   run_tsan ;;
-  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_storage; run_sched; run_asan; run_ubsan ;;
-  *) echo "usage: $0 [plain|faults|sup|ring|obs|storage|sched|asan|ubsan|tsan|all]" >&2; exit 2 ;;
+  all)    run_plain; run_faults; run_sup; run_ring; run_obs; run_storage; run_sched; run_dl; run_asan; run_ubsan ;;
+  *) echo "usage: $0 [plain|faults|sup|ring|obs|storage|sched|dl|asan|ubsan|tsan|all]" >&2; exit 2 ;;
 esac
 echo "run_tier1: $mode OK"

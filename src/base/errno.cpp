@@ -36,6 +36,7 @@ std::string_view errno_name(Errno e) {
     case Errno::kECONNRESET: return "ECONNRESET";
     case Errno::kEISCONN: return "EISCONN";
     case Errno::kENOTCONN: return "ENOTCONN";
+    case Errno::kETIMEDOUT: return "ETIMEDOUT";
     case Errno::kECONNREFUSED: return "ECONNREFUSED";
     case Errno::kEDQUOT: return "EDQUOT";
     case Errno::kECANCELED: return "ECANCELED";

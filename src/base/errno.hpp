@@ -48,6 +48,7 @@ enum class Errno : std::int32_t {
   kECONNRESET = 104,   ///< Connection reset by peer (peer closed hard)
   kEISCONN = 106,      ///< Socket is already connected
   kENOTCONN = 107,     ///< Socket is not connected
+  kETIMEDOUT = 110,    ///< Deadline expired (kdl end-to-end request deadline)
   kECONNREFUSED = 111, ///< No listener on the target port
   kEDQUOT = 122,       ///< Resource quota exceeded (supervisor caps)
   kECANCELED = 125,    ///< Operation canceled (ring chain cancel-on-error)

@@ -26,6 +26,7 @@ std::int64_t fetch_path(Kernel& k, Process& p, const char* upath,
 SysRet sys_readdirplus(Kernel& k, Process& p, const char* upath, void* ubuf,
                        std::size_t n, std::uint64_t* ucookie) {
   Kernel::Scope scope(k, p, uk::Sys::kReaddirPlus);
+  if (SysRet g = scope.gate(); g != 0) return g;
   if (ubuf == nullptr || ucookie == nullptr) {
     return scope.fail(Errno::kEFAULT);
   }
@@ -91,6 +92,7 @@ SysRet sys_readdirplus(Kernel& k, Process& p, const char* upath, void* ubuf,
 SysRet sys_open_read_close(Kernel& k, Process& p, const char* upath,
                            void* ubuf, std::size_t n, std::uint64_t offset) {
   Kernel::Scope scope(k, p, uk::Sys::kOpenReadClose);
+  if (SysRet g = scope.gate(); g != 0) return g;
   if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
   char kpath[Kernel::kMaxPath];
   std::int64_t len = fetch_path(k, p, upath, kpath);
@@ -128,6 +130,7 @@ SysRet sys_open_write_close(Kernel& k, Process& p, const char* upath,
                             const void* ubuf, std::size_t n,
                             std::uint64_t offset, int flags) {
   Kernel::Scope scope(k, p, uk::Sys::kOpenWriteClose);
+  if (SysRet g = scope.gate(); g != 0) return g;
   if (ubuf == nullptr) return scope.fail(Errno::kEFAULT);
   char kpath[Kernel::kMaxPath];
   std::int64_t len = fetch_path(k, p, upath, kpath);
@@ -166,6 +169,7 @@ SysRet sys_open_write_close(Kernel& k, Process& p, const char* upath,
 SysRet sys_open_fstat(Kernel& k, Process& p, const char* upath,
                       fs::StatBuf* ust) {
   Kernel::Scope scope(k, p, uk::Sys::kOpenFstat);
+  if (SysRet g = scope.gate(); g != 0) return g;
   if (ust == nullptr) return scope.fail(Errno::kEFAULT);
   char kpath[Kernel::kMaxPath];
   std::int64_t len = fetch_path(k, p, upath, kpath);

@@ -18,6 +18,7 @@ SysRet sys_accept_recv(net::Net& net, Kernel& k, Process& p, int listenfd,
   trace::SpanScope span("net.accept_recv",
                         trace::SpanVehicle::kConsolidated);
   Kernel::Scope scope(k, p, uk::Sys::kAcceptRecv);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "accept_recv");
   if (ubuf == nullptr || uconnfd == nullptr) {
     return scope.fail(Errno::kEFAULT);
@@ -65,6 +66,7 @@ SysRet sys_sendfile(net::Net& net, Kernel& k, Process& p, int sockfd,
                     std::size_t count) {
   trace::SpanScope span("net.sendfile", trace::SpanVehicle::kConsolidated);
   Kernel::Scope scope(k, p, uk::Sys::kSendfile);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "sendfile");
   // Descriptor first, path copy-in second: a bad fd must be reported
   // before any boundary copy work is charged (the uniform-EBADF rule;

@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "base/klog.hpp"
+#include "dl/dl.hpp"
 #include "fault/kfail.hpp"
 #include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
@@ -39,6 +40,10 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
                         sup_ != nullptr ? sup_id_ : -1);
   span.watch_result(&out.ret);
   uk::Kernel::Scope scope(k_, p, uk::Sys::kCosy);
+  if (SysRet g = scope.gate(); g != 0) {
+    out.ret = g;
+    return out;
+  }
   USK_TRACE_LATENCY("cosy", "execute");
   USK_TRACEPOINT("cosy", "execute", c.ops.size());
   ++stats_.compounds;
@@ -137,6 +142,16 @@ CosyResult CosyExtension::execute(uk::Process& p, const Compound& c,
     // rollback above must survive.
     if (auto f = USK_FAIL_POINT(fault::Site::kCosyOp); f.fail) {
       return fault_abort(f.err);
+    }
+    // kdl: deadline/cancel is checked at the same between-op boundary --
+    // the abort reuses the fault path's fd rollback, so an expired
+    // compound leaves nothing behind after any prefix either.
+    if (dl::dl_enabled()) {
+      if (Errno de = dl::check(&p.task); de != Errno::kOk) {
+        dl::Kdl::instance().stats().cosy_aborts.fetch_add(
+            1, std::memory_order_relaxed);
+        return fault_abort(de);
+      }
     }
     const std::size_t cur = pc;
     const OpRecord& rec = c.ops[cur];
@@ -517,6 +532,10 @@ CosyResult CosyExtension::execute_image(
   if (!deserialize(image, &c)) {
     CosyResult out;
     uk::Kernel::Scope scope(k_, p, uk::Sys::kCosy);
+    if (SysRet g = scope.gate(); g != 0) {
+      out.ret = g;
+      return out;
+    }
     ++stats_.compounds;
     ++stats_.validation_failures;
     base::klogf(base::LogLevel::kErr,

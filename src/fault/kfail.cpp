@@ -31,6 +31,8 @@ constexpr SiteDesc kSiteDesc[kNumSites] = {
     {"store.short_write", Errno::kEIO},
     {"store.torn_commit_header", Errno::kEIO},
     {"store.fsync_fail", Errno::kEIO},
+    {"dl.clock_skew", Errno::kETIMEDOUT},
+    {"dl.spurious_wake", Errno::kEAGAIN},
 };
 
 /// SplitMix64: the per-check decision hash. Statistically uniform, cheap,
@@ -63,6 +65,8 @@ Errno errno_from_name(std::string_view n) {
       {"ENOSPC", Errno::kENOSPC}, {"EPIPE", Errno::kEPIPE},
       {"ECONNRESET", Errno::kECONNRESET},
       {"EDQUOT", Errno::kEDQUOT}, {"ETIME", Errno::kETIME},
+      {"ETIMEDOUT", Errno::kETIMEDOUT},
+      {"ECANCELED", Errno::kECANCELED},
   };
   for (const Pair& p : kMap) {
     if (n == p.name) return p.e;

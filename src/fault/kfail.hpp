@@ -72,6 +72,8 @@ enum class Site : std::uint8_t {
   kStoreShortWrite,  ///< store::BackingImage::write_block -> short write (EIO)
   kStoreTornHeader,  ///< store journal commit-header write -> torn on media
   kStoreFsyncFail,   ///< store::BackingImage::flush (fsync) -> EIO
+  kDlClockSkew,      ///< kdl deadline evaluation reads a skewed clock -> spurious ETIMEDOUT
+  kDlSpuriousWake,   ///< kdl timed park wakes without event/expiry -> loop re-checks
   kMaxSite
 };
 

@@ -13,6 +13,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dl/dl.hpp"
 #include "net/net.hpp"
 #include "trace/tracepoint.hpp"
 
@@ -34,6 +35,7 @@ Result<std::shared_ptr<Epoll>> epoll_of(Net& net, uk::Process& p, int epfd) {
 
 SysRet Net::sys_epoll_create(uk::Process& p) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollCreate);
+  if (SysRet g = scope.gate(); g != 0) return g;
   std::shared_ptr<Epoll> ep;
   fs::InodeNum ino = 0;
   {
@@ -58,6 +60,7 @@ SysRet Net::sys_epoll_create(uk::Process& p) {
 SysRet Net::sys_epoll_ctl(uk::Process& p, int epfd, int op, int fd,
                               std::uint32_t events) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollCtl);
+  if (SysRet g = scope.gate(); g != 0) return g;
   Result<std::shared_ptr<Epoll>> rep = epoll_of(*this, p, epfd);
   if (!rep) return scope.fail(rep.error());
   Epoll& ep = *rep.value();
@@ -116,6 +119,7 @@ SysRet Net::sys_epoll_ctl(uk::Process& p, int epfd, int op, int fd,
 SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
                                int maxevents, int timeout_ms) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kEpollWait);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "epoll_wait");
   USK_TRACEPOINT("net", "epoll_wait", static_cast<std::uint64_t>(epfd));
   if (uevents == nullptr || maxevents <= 0) return scope.fail(Errno::kEINVAL);
@@ -179,12 +183,33 @@ SysRet Net::sys_epoll_wait(uk::Process& p, int epfd, EpollEvent* uevents,
     if (!out.empty()) break;
     if (!forever && (timeout_ms == 0 || clock::now() >= deadline)) break;
 
+    // kdl: the request deadline tightens the park bound. A dl expiry is
+    // an error (ETIMEDOUT) where the user's own timeout is a normal
+    // return of 0 events, so track which deadline is binding.
+    dl::Clock::time_point dl_storage;
+    bool dl_bound = false;
+    const clock::time_point* eff = dl::effective_deadline(
+        forever ? nullptr : &deadline, &dl_storage, &dl_bound);
+    if (dl_bound && dl_storage <= clock::now()) {
+      return scope.fail(Errno::kETIMEDOUT);
+    }
+    if (dl::spurious_wake()) continue;  // kfail: re-scan, never sleep late
+
     // 4. Park until a socket signals or the caller's deadline passes
     // (the watchdog runs at the park, as at every schedule-out).
-    sched::WaitQueue::Wait w =
-        k_.scheduler().block(ep.wq_, tok, forever ? nullptr : &deadline);
+    sched::WaitQueue::Wait w = k_.scheduler().block(ep.wq_, tok, eff);
     if (w == sched::WaitQueue::Wait::kKilled) {
       return scope.fail(Errno::kEINTR);
+    }
+    if (w == sched::WaitQueue::Wait::kCanceled) {
+      dl::Kdl::instance().stats().park_canceled.fetch_add(
+          1, std::memory_order_relaxed);
+      return scope.fail(Errno::kECANCELED);
+    }
+    if (w == sched::WaitQueue::Wait::kTimeout && dl_bound) {
+      dl::Kdl::instance().stats().park_expired.fetch_add(
+          1, std::memory_order_relaxed);
+      return scope.fail(Errno::kETIMEDOUT);
     }
   }
 

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "dl/dl.hpp"
 #include "fault/kfail.hpp"
 #include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
@@ -56,14 +57,35 @@ Errno Net::block_on(std::unique_lock<std::mutex>& lk, sched::WaitQueue& wq,
     // returns immediately. No readiness re-poll interval exists.
     sched::WaitQueue::Token tok = wq.prepare();
     if (pred()) return Errno::kOk;
+    // kdl: the request's deadline bounds the park. Expiry checked here
+    // too, so an already-late request fails fast instead of sleeping out
+    // its full deadline first. Errno contract (shared with every other
+    // blocking vehicle): expiry -> ETIMEDOUT, cancel -> ECANCELED,
+    // kill -> EINTR.
+    dl::Clock::time_point storage;
+    bool dl_bound = false;
+    const dl::Clock::time_point* deadline =
+        dl::effective_deadline(nullptr, &storage, &dl_bound);
+    if (dl_bound && storage <= dl::Clock::now()) return Errno::kETIMEDOUT;
+    if (dl::spurious_wake()) continue;  // kfail: re-check, never sleep late
     lk.unlock();
     // Park = schedule out: the watchdog runs here, so a task blocked on a
     // socket that will never become ready is killed by the same kernel
     // budget policy as any runaway in-kernel loop (paper §3: user code in
     // the kernel must stay preemptible and killable even when it waits).
-    sched::WaitQueue::Wait w = k_.scheduler().block(wq, tok);
+    sched::WaitQueue::Wait w = k_.scheduler().block(wq, tok, deadline);
     lk.lock();
     if (w == sched::WaitQueue::Wait::kKilled) return Errno::kEINTR;
+    if (w == sched::WaitQueue::Wait::kCanceled) {
+      dl::Kdl::instance().stats().park_canceled.fetch_add(
+          1, std::memory_order_relaxed);
+      return Errno::kECANCELED;
+    }
+    if (w == sched::WaitQueue::Wait::kTimeout) {
+      dl::Kdl::instance().stats().park_expired.fetch_add(
+          1, std::memory_order_relaxed);
+      return Errno::kETIMEDOUT;
+    }
   }
 }
 
@@ -119,6 +141,7 @@ void Net::notify_watchers_locked(Socket& s) {
 
 SysRet Net::sys_socket(uk::Process& p, int flags) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kSocket);
+  if (SysRet g = scope.gate(); g != 0) return g;
   std::shared_ptr<Socket> s = make_socket((flags & kSockNonblock) != 0);
   Result<int> fd = install_fd(p, s);
   if (!fd) {
@@ -130,6 +153,7 @@ SysRet Net::sys_socket(uk::Process& p, int flags) {
 
 SysRet Net::sys_bind(uk::Process& p, int fd, std::uint16_t port) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kBind);
+  if (SysRet g = scope.gate(); g != 0) return g;
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
   if (!rs) return scope.fail(rs.error());
   Socket& s = *rs.value();
@@ -149,6 +173,7 @@ SysRet Net::sys_bind(uk::Process& p, int fd, std::uint16_t port) {
 
 SysRet Net::sys_listen(uk::Process& p, int fd, int backlog) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kListen);
+  if (SysRet g = scope.gate(); g != 0) return g;
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
   if (!rs) return scope.fail(rs.error());
   Socket& s = *rs.value();
@@ -163,6 +188,7 @@ SysRet Net::sys_listen(uk::Process& p, int fd, int backlog) {
 
 SysRet Net::sys_connect(uk::Process& p, int fd, std::uint16_t port) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kConnect);
+  if (SysRet g = scope.gate(); g != 0) return g;
   Result<std::shared_ptr<Socket>> rs = socket_of(p, fd);
   if (!rs) return scope.fail(rs.error());
   std::shared_ptr<Socket> cli = rs.value();
@@ -290,6 +316,7 @@ SysRet Net::do_accept(uk::Process& p, int fd) {
 
 SysRet Net::sys_accept(uk::Process& p, int fd) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kAccept);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "accept");
   USK_TRACEPOINT("net", "accept", static_cast<std::uint64_t>(fd));
   SysRet r = do_accept(p, fd);
@@ -420,6 +447,7 @@ SysRet Net::do_send(uk::Process& p, int fd, const void* ubuf,
 SysRet Net::sys_send(uk::Process& p, int fd, const void* ubuf,
                          std::size_t n) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kSend);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "send");
   USK_TRACEPOINT("net", "send", static_cast<std::uint64_t>(fd), n);
   return scope.done(do_send(p, fd, ubuf, n));
@@ -449,6 +477,7 @@ SysRet Net::do_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
 
 SysRet Net::sys_recv(uk::Process& p, int fd, void* ubuf, std::size_t n) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kRecv);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACE_LATENCY("net", "recv");
   USK_TRACEPOINT("net", "recv", static_cast<std::uint64_t>(fd), n);
   return scope.done(do_recv(p, fd, ubuf, n));
@@ -486,6 +515,7 @@ SysRet Net::do_shutdown(uk::Process& p, int fd, int how) {
 
 SysRet Net::sys_shutdown(uk::Process& p, int fd, int how) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kShutdown);
+  if (SysRet g = scope.gate(); g != 0) return g;
   return scope.done(do_shutdown(p, fd, how));
 }
 

@@ -193,6 +193,13 @@ class Net {
   [[nodiscard]] NetStats stats() const;
   [[nodiscard]] std::shared_ptr<Socket> find_socket(fs::InodeNum ino);
   [[nodiscard]] std::shared_ptr<Epoll> find_epoll(fs::InodeNum ino);
+  /// Sockets still registered (not yet released by their last fd): the
+  /// kdl leak oracle asserts this returns to its baseline after every
+  /// cancellation storm.
+  [[nodiscard]] std::size_t live_sockets() const {
+    std::lock_guard lk(tab_mu_);
+    return sockets_.size();
+  }
 
   /// Render /proc/net/** style tables (also used directly by tests).
   [[nodiscard]] std::string format_stats() const;

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <limits>
 
+#include "dl/dl.hpp"
 #include "fault/kfail.hpp"
 #include "sup/supervisor.hpp"
 #include "trace/span.hpp"
@@ -217,6 +218,7 @@ void RingDev::close_ring(const std::shared_ptr<Ring>& r) {
 SysRet RingDev::sys_ring_setup(uk::Process& p, std::uint32_t entries,
                                std::uint32_t data_bytes) {
   uk::Kernel::Scope scope(k_, p, uk::Sys::kRingSetup);
+  if (SysRet g = scope.gate(); g != 0) return g;
   USK_TRACEPOINT("ring", "setup", entries, data_bytes);
   if (entries == 0 || entries > kMaxSqEntries || data_bytes > kMaxDataBytes) {
     return scope.fail(Errno::kEINVAL);
@@ -354,6 +356,19 @@ void RingDev::exec_chain(uk::Process& p, Ring& r,
       out.push_back(Cqe{e.user_data, sysret_err(Errno::kECANCELED)});
       r.n_.cqes_canceled.fetch_add(1, std::memory_order_relaxed);
       continue;
+    }
+    // kdl: cancel-on-deadline between SQEs. Failing THIS SQE with
+    // ETIMEDOUT/ECANCELED reuses the cancel cascade and fd rollback
+    // below, so an expired or canceled chain unwinds through exactly
+    // the machinery any mid-chain error already exercises.
+    if (dl::dl_enabled()) {
+      if (Errno de = dl::check(&p.task); de != Errno::kOk) {
+        dl::Kdl::instance().stats().ring_aborts.fetch_add(
+            1, std::memory_order_relaxed);
+        out.push_back(Cqe{e.user_data, sysret_err(de)});
+        failed = true;
+        continue;
+      }
     }
     charge(kSqeDispatchUnits);
     SysRet res = 0;
@@ -571,11 +586,36 @@ SysRet RingDev::do_enter(uk::Process& p, Ring& r, std::uint32_t to_submit,
     // deadline passes. Blocking socket ops inside the drain park on their
     // sockets' WaitQueues wired to peer readiness; no polling anywhere on
     // this path.
-    sched::WaitQueue::Wait w =
-        k_.scheduler().block(r.wq_, tok, bounded_wait ? &deadline : nullptr);
+    // kdl: the request deadline tightens the wait bound. Work already
+    // posted always beats the error (like a partial recv); an expiry or
+    // cancel with nothing posted surfaces ETIMEDOUT/ECANCELED.
+    dl::Clock::time_point dl_storage;
+    bool dl_bound = false;
+    const sched::WaitQueue::Deadline* eff = dl::effective_deadline(
+        bounded_wait ? &deadline : nullptr, &dl_storage, &dl_bound);
+    if (dl_bound && dl_storage <= std::chrono::steady_clock::now()) {
+      dl::Kdl::instance().stats().park_expired.fetch_add(
+          1, std::memory_order_relaxed);
+      if (posted > 0) return static_cast<SysRet>(posted);
+      return sysret_err(Errno::kETIMEDOUT);
+    }
+    if (dl::spurious_wake()) continue;  // kfail: re-drain, never sleep late
+    sched::WaitQueue::Wait w = k_.scheduler().block(r.wq_, tok, eff);
     if (w == sched::WaitQueue::Wait::kKilled) {
       if (posted > 0) return static_cast<SysRet>(posted);
       return sysret_err(Errno::kEINTR);
+    }
+    if (w == sched::WaitQueue::Wait::kCanceled) {
+      dl::Kdl::instance().stats().park_canceled.fetch_add(
+          1, std::memory_order_relaxed);
+      if (posted > 0) return static_cast<SysRet>(posted);
+      return sysret_err(Errno::kECANCELED);
+    }
+    if (w == sched::WaitQueue::Wait::kTimeout && dl_bound) {
+      dl::Kdl::instance().stats().park_expired.fetch_add(
+          1, std::memory_order_relaxed);
+      if (posted > 0) return static_cast<SysRet>(posted);
+      return sysret_err(Errno::kETIMEDOUT);
     }
   }
   return static_cast<SysRet>(posted);
@@ -587,11 +627,13 @@ SysRet RingDev::sys_ring_enter(uk::Process& p, int ringfd,
   Result<std::shared_ptr<Ring>> rr = ring_of(p, ringfd);
   if (!rr) {
     uk::Kernel::Scope scope(k_, p, uk::Sys::kRingEnter);
+    if (SysRet g = scope.gate(); g != 0) return g;
     return scope.fail(rr.error());
   }
   Ring& r = *rr.value();
   if (min_complete > r.cq_capacity()) {
     uk::Kernel::Scope scope(k_, p, uk::Sys::kRingEnter);
+    if (SysRet g = scope.gate(); g != 0) return g;
     return scope.fail(Errno::kEINVAL);
   }
 
@@ -603,6 +645,7 @@ SysRet RingDev::sys_ring_enter(uk::Process& p, int ringfd,
     Errno viol = Errno::kOk;
     r.n_.enters.fetch_add(1, std::memory_order_relaxed);
     uk::Kernel::Scope scope(k_, p, uk::Sys::kRingEnter);
+    if (SysRet g = scope.gate(); g != 0) return g;
     USK_TRACE_LATENCY("ring", "enter");
     USK_TRACEPOINT("ring", "enter", to_submit, min_complete);
     return scope.done(do_enter(p, r, to_submit, min_complete, timeout_ms,
@@ -625,6 +668,7 @@ SysRet RingDev::sys_ring_enter(uk::Process& p, int ringfd,
       } else {
         r.n_.enters.fetch_add(1, std::memory_order_relaxed);
         uk::Kernel::Scope scope(k_, p, uk::Sys::kRingEnter);
+        if (SysRet gr = scope.gate(); gr != 0) return gr;
         USK_TRACE_LATENCY("ring", "enter");
         USK_TRACEPOINT("ring", "enter", to_submit, min_complete);
         ret = scope.done(do_enter(p, r, to_submit, min_complete, timeout_ms,

@@ -50,6 +50,7 @@ struct SchedStats {
   std::atomic<std::uint64_t> yields{0};
   std::atomic<std::uint64_t> parks{0};  ///< block() calls
   std::atomic<std::uint64_t> kills{0};  ///< explicit kill() calls
+  std::atomic<std::uint64_t> cancels{0};  ///< cooperative cancel() calls (kdl)
 };
 
 class Scheduler {
@@ -208,6 +209,18 @@ class Scheduler {
     stats_.kills.fetch_add(1, std::memory_order_relaxed);
     t.set_state(TaskState::kKilled);
     USK_TRACEPOINT("sched", "kill", t.pid());
+    if (WaitQueue* wq = t.parked_on()) wq->wake_all();
+  }
+
+  /// Cooperatively cancel `t` (kdl): the task stays schedulable but every
+  /// syscall gateway and WaitQueue park observes cancel_pending and
+  /// unwinds with ECANCELED. Same seq_cst store/parked_on-load handshake
+  /// as kill, so a parked task is woken and a parking task sees the flag
+  /// in the wait predicate before sleeping.
+  void cancel(Task& t) {
+    stats_.cancels.fetch_add(1, std::memory_order_relaxed);
+    t.set_cancel_pending(true);
+    USK_TRACEPOINT("sched", "cancel", t.pid());
     if (WaitQueue* wq = t.parked_on()) wq->wake_all();
   }
 

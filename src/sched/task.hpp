@@ -78,6 +78,15 @@ class Task {
   [[nodiscard]] WaitQueue* parked_on() const { return parked_on_.load(); }
   void set_parked_on(WaitQueue* wq) { parked_on_.store(wq); }
 
+  /// Cooperative cancellation (kdl). Unlike kill, cancel does not change
+  /// the task state: the task keeps running and every syscall gateway /
+  /// park observes the flag and unwinds with ECANCELED, releasing its
+  /// resources on the way out. Set via Scheduler::cancel, which reuses
+  /// the kill path's seq_cst parked_on handshake; cleared by the request
+  /// teardown (dl::DeadlineScope destructor) once the unwind completes.
+  [[nodiscard]] bool cancel_pending() const { return cancel_pending_.load(); }
+  void set_cancel_pending(bool v) { cancel_pending_.store(v); }
+
   // --- kernel-mode bookkeeping -------------------------------------------
   void enter_kernel() {
     if (in_kernel_depth_++ == 0) kernel_visit_start_ = times_.kernel;
@@ -124,6 +133,7 @@ class Task {
   std::atomic<std::size_t> affinity_{kAnyCpu};
   std::atomic<std::size_t> last_cpu_{kAnyCpu};
   std::atomic<WaitQueue*> parked_on_{nullptr};
+  std::atomic<bool> cancel_pending_{false};
   int in_kernel_depth_ = 0;
   std::uint64_t kernel_visit_start_ = 0;
   std::uint64_t kernel_budget_ = std::numeric_limits<std::uint64_t>::max();

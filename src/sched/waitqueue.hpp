@@ -52,6 +52,7 @@ struct WaitStats {
   std::atomic<std::uint64_t> wakeups{0};    ///< wake_one + wake_all calls
   std::atomic<std::uint64_t> stale_tokens{0};  ///< waits satisfied pre-sleep
   std::atomic<std::uint64_t> kills_while_parked{0};
+  std::atomic<std::uint64_t> cancels_while_parked{0};  ///< kdl cancel exits
   std::atomic<std::uint64_t> timeouts{0};   ///< user-deadline expiries
   std::atomic<std::int64_t> parked_now{0};
 };
@@ -67,9 +68,10 @@ class WaitQueue {
   using Deadline = std::chrono::steady_clock::time_point;
 
   enum class Wait {
-    kWoken,    ///< a wake was posted after the token was taken
-    kKilled,   ///< the parked task was killed (watchdog or explicit)
-    kTimeout,  ///< the caller-supplied deadline expired
+    kWoken,     ///< a wake was posted after the token was taken
+    kKilled,    ///< the parked task was killed (watchdog or explicit)
+    kCanceled,  ///< the parked task has a cooperative cancel pending (kdl)
+    kTimeout,   ///< the caller-supplied deadline expired
   };
 
   /// Snapshot the wake sequence. Take the token, then re-check the wait
@@ -101,7 +103,8 @@ class WaitQueue {
     ws.parked_now.fetch_add(1, std::memory_order_relaxed);
     auto pred = [&] {
       return seq_.load(std::memory_order_relaxed) != tok ||
-             (t != nullptr && t->state() == TaskState::kKilled);
+             (t != nullptr && (t->state() == TaskState::kKilled ||
+                              t->cancel_pending()));
     };
     bool timed_out = false;
     if (deadline != nullptr) {
@@ -121,6 +124,13 @@ class WaitQueue {
       if (!t->cas_state(cur, prev) || prev == TaskState::kKilled) {
         ws.kills_while_parked.fetch_add(1, std::memory_order_relaxed);
         return Wait::kKilled;
+      }
+      // A kill outranks a cancel (the task is already dead); a cancel
+      // outranks a timeout (the request is unwinding either way, and the
+      // canceler deserves the deterministic ECANCELED it asked for).
+      if (t->cancel_pending()) {
+        ws.cancels_while_parked.fetch_add(1, std::memory_order_relaxed);
+        return Wait::kCanceled;
       }
     }
     if (timed_out) {

@@ -79,6 +79,7 @@ const char* violation_name(ViolationKind k) {
     case ViolationKind::kProbeFailure: return "probe-failure";
     case ViolationKind::kMonitorAnomaly: return "monitor-anomaly";
     case ViolationKind::kSloBreach: return "slo-breach";
+    case ViolationKind::kRetryBudget: return "retry-budget";
     case ViolationKind::kOther: return "other";
   }
   return "?";

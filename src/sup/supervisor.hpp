@@ -79,6 +79,7 @@ enum class ViolationKind {
   kProbeFailure,    ///< re-admission probe failed
   kMonitorAnomaly,  ///< rule monitor flagged as noisy/wrong
   kSloBreach,       ///< sustained latency/error SLO burn (sup/slo.hpp)
+  kRetryBudget,     ///< tenant exhausted its kdl retry budget (dl/dl.hpp)
   kOther,           ///< any other abort (e.g. rejected compound)
 };
 const char* violation_name(ViolationKind k);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "dl/dl.hpp"
 #include "fs/procfs.hpp"
 #include "trace/span.hpp"
 #include "trace/tracepoint.hpp"
@@ -78,6 +79,10 @@ Kernel::Scope::Scope(Kernel& k, Process& p, Sys nr)
   k_.boundary_.enter_kernel(p_.task);
   ++p_.task.syscalls;
   k_.sched_.enter(p_.task);
+  // kdl gateway: an expired or canceled request fails fast here instead
+  // of spending kernel units on work whose answer nobody will take.
+  // Disarmed, this whole block is one relaxed load.
+  if (dl::dl_enabled()) gate_err_ = dl::gate_check(&p_.task);
 }
 
 Kernel::Scope::~Scope() {
@@ -173,6 +178,7 @@ SysRet Kernel::syscall(Process& p, Sys nr, const SysArgs& a) {
     // The Scope is constructed HERE for every table-dispatched call: one
     // crossing, one audit record, one ktrace sample per entry.
     Scope scope(*this, p, nr);
+    if (SysRet g = scope.gate(); g != 0) return g;
     return scope.done((this->*h)(p, a));
   }
   if (idx < external_.size()) {

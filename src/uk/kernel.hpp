@@ -149,6 +149,15 @@ class Kernel {
     }
     SysRet fail(Errno e) { return done(sysret_err(e)); }
 
+    /// kdl gateway gate. The constructor evaluates the dispatching
+    /// request's deadline/cancel state once at entry (one relaxed load
+    /// when kdl is disarmed); a non-zero return is the recorded failure
+    /// (-ECANCELED / -ETIMEDOUT) and the handler must not run. Usage:
+    /// `if (SysRet g = scope.gate(); g != 0) return g;`.
+    [[nodiscard]] SysRet gate() {
+      return gate_err_ == Errno::kOk ? 0 : done(sysret_err(gate_err_));
+    }
+
     [[nodiscard]] Kernel& kernel() { return k_; }
     [[nodiscard]] Process& process() { return p_; }
 
@@ -156,6 +165,7 @@ class Kernel {
     Kernel& k_;
     Process& p_;
     Sys nr_;
+    Errno gate_err_ = Errno::kOk;
     SysRet ret_ = 0;
     std::uint64_t in0_, out0_;
     std::uint64_t kunits0_;  ///< kernel units at entry (supervisor delta)

@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <string>
 
+#include "dl/dl.hpp"
 #include "fault/kfail.hpp"
 #include "fs/vfs.hpp"
 #include "metrics/metrics.hpp"
@@ -368,6 +369,60 @@ void register_kernel_proc(Kernel& k, fs::ProcFs& pfs) {
               name, h.count);
     }
   });
+
+  // --- /proc/dl: deadlines, cancellation, admission (dl/dl.hpp) -------------
+  pfs.add_file(
+      "/dl/enable",
+      [] {
+        return std::string(dl::Kdl::instance().enabled() ? "1\n" : "0\n");
+      },
+      [](std::string_view in) {
+        std::size_t end = in.find_last_not_of(" \t\n");
+        if (end == std::string_view::npos) return Errno::kEINVAL;
+        std::string_view v = in.substr(0, end + 1);
+        if (v == "1") {
+          dl::Kdl::instance().set_enabled(true);
+        } else if (v == "0") {
+          dl::Kdl::instance().set_enabled(false);
+        } else {
+          return Errno::kEINVAL;
+        }
+        return Errno::kOk;
+      });
+  pfs.add_file(
+      "/dl/stats", [] { return dl::Kdl::instance().format_stats(); },
+      [](std::string_view) {
+        dl::Kdl::instance().reset();
+        return Errno::kOk;
+      });
+  pfs.add_file("/dl/tenants",
+               [] { return dl::Kdl::instance().format_tenants(); });
+
+  metrics::kmetrics().gauge_fn(
+      "usk_dl_active", "live DeadlineScopes (requests in flight under kdl)",
+      {}, [] { return dl::Kdl::instance().stats().active.load(); });
+  metrics::kmetrics().gauge_fn(
+      "usk_dl_expired", "requests retired past their deadline", {}, [] {
+        return static_cast<std::int64_t>(
+            dl::Kdl::instance().stats().retired_expired.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_dl_canceled", "requests retired by cooperative cancel", {}, [] {
+        return static_cast<std::int64_t>(
+            dl::Kdl::instance().stats().retired_canceled.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_dl_sheds", "requests shed by admission control", {}, [] {
+        return static_cast<std::int64_t>(
+            dl::Kdl::instance().stats().sheds.load());
+      });
+  metrics::kmetrics().gauge_fn(
+      "usk_dl_gateway_failfast",
+      "syscalls refused at the gateway (expired + canceled)", {}, [] {
+        const dl::DlStats& s = dl::Kdl::instance().stats();
+        return static_cast<std::int64_t>(s.gateway_expired.load() +
+                                         s.gateway_canceled.load());
+      });
 
   pfs.add_file("/metrics", [] { return metrics::kmetrics().expose(); });
 
